@@ -1,0 +1,115 @@
+(* Figure 5 + §5.2.1 + §5.2.2: execution times of base / RL /
+   auto-scheduler / TensorFlow / TensorFlow-JIT on the 67 validation
+   operations, with the paper's summary statistics. *)
+
+type per_op = {
+  op : Linalg.t;
+  base : float;
+  rl : float;
+  rl_schedule : Schedule.t;
+  auto : float;
+  tf : float;
+  tf_jit : float;
+}
+
+type result = { rows : per_op list; trained : Bench_common.trained }
+
+let run (c : Bench_common.config) =
+  Bench_common.heading
+    "Figure 5 — execution time per method across the 67 benchmark operations";
+  let split = Generator.generate ~seed:c.Bench_common.seed () in
+  let trained = Bench_common.train_agent c ~ops:split.Generator.train in
+  let ev = Env.evaluator trained.Bench_common.env in
+  let rng = Util.Rng.create (c.Bench_common.seed + 1) in
+  let auto_config =
+    {
+      Auto_scheduler.default_config with
+      Auto_scheduler.max_schedules = c.Bench_common.autosched_budget;
+    }
+  in
+  Printf.printf "\n%-34s %12s %10s %10s %10s %10s\n" "operation" "base (s)"
+    "RL x" "auto x" "TF x" "TF-JIT x";
+  let rows =
+    Array.to_list
+      (Array.map
+         (fun op ->
+           let base = Evaluator.base_seconds ev op in
+           let rl_schedule, rl_speedup = Bench_common.rl_best rng trained c op in
+           let auto = Auto_scheduler.search ~config:auto_config ev op in
+           let tf = Tf_baseline.tf_seconds ev op in
+           let tf_jit = Tf_baseline.tf_jit_seconds ev op in
+           let row =
+             {
+               op;
+               base;
+               rl = base /. rl_speedup;
+               rl_schedule;
+               auto = base /. auto.Auto_scheduler.best_speedup;
+               tf;
+               tf_jit;
+             }
+           in
+           Printf.printf "%-34s %12.3e %10.1f %10.1f %10.1f %10.1f\n%!"
+             op.Linalg.op_name base (base /. row.rl) (base /. row.auto)
+             (base /. row.tf) (base /. row.tf_jit);
+           row)
+         split.Generator.validation)
+  in
+  (* ---- §5.2.1: auto-scheduler and RL vs auto-scheduler ---- *)
+  Bench_common.subheading "Summary §5.2.1 — RL vs the baseline auto-scheduler";
+  let auto_speedups = List.map (fun r -> r.base /. r.auto) rows in
+  Printf.printf "auto-scheduler speedup over base: average %.2f (paper 1948.75), geomean %.2f (paper 84.64)\n"
+    (Bench_common.mean auto_speedups)
+    (Bench_common.geomean auto_speedups);
+  let rl_vs_auto = List.map (fun r -> r.auto /. r.rl) rows in
+  Printf.printf "RL vs auto-scheduler geomean: %.2f (paper 1.1)\n"
+    (Bench_common.geomean rl_vs_auto);
+  let similar, slower, faster =
+    List.fold_left
+      (fun (s, sl, f) ratio ->
+        if ratio > 1.1 then (s, sl, f + 1)
+        else if ratio < 1.0 /. 1.1 then (s, sl + 1, f)
+        else (s + 1, sl, f))
+      (0, 0, 0) rl_vs_auto
+  in
+  Printf.printf
+    "parity within 1.1x: %d/67 (paper 54) | RL slower: %d (paper 7) | RL faster: %d (paper 6)\n"
+    similar slower faster;
+  let slower_ratios = List.filter (fun r -> r < 1.0 /. 1.1) rl_vs_auto in
+  if slower_ratios <> [] then
+    Printf.printf "when slower, RL averages %.2fx of the auto-scheduler (paper 0.46x)\n"
+      (Bench_common.mean slower_ratios);
+  (* ---- §5.2.2: RL vs TensorFlow ---- *)
+  Bench_common.subheading "Summary §5.2.2 — RL vs TensorFlow";
+  let rl_vs_tf = List.map (fun r -> (r, r.tf /. r.rl)) rows in
+  Printf.printf "overall geomean speedup vs TF: %.2f (paper 1.39)\n"
+    (Bench_common.geomean (List.map snd rl_vs_tf));
+  let by_kind kind =
+    List.filter_map
+      (fun (r, ratio) ->
+        if Linalg.kind_name r.op = kind then Some ratio else None)
+      rl_vs_tf
+  in
+  List.iter
+    (fun (kind, paper_geo, paper_avg) ->
+      let ratios = by_kind kind in
+      Printf.printf
+        "%-8s geomean %.2f (paper %.2f)   average %.2f (paper %s)\n" kind
+        (Bench_common.geomean ratios)
+        paper_geo (Bench_common.mean ratios) paper_avg)
+    [
+      ("matmul", 7.55, "9.42"); ("conv2d", 1.16, "1.49"); ("add", 1.05, "1.15");
+      ("relu", 1.68, "3.04"); ("maxpool", 0.24, "-");
+    ];
+  let better = List.filter (fun (_, ratio) -> ratio > 1.1) rl_vs_tf in
+  let comparable =
+    List.filter (fun (_, ratio) -> ratio >= 1.0 /. 1.1 && ratio <= 1.1) rl_vs_tf
+  in
+  Printf.printf "RL better than TF on %d/67 ops, geomean %.2f (paper: 33 ops, 4.07)\n"
+    (List.length better)
+    (if better = [] then 1.0 else Bench_common.geomean (List.map snd better));
+  Printf.printf "comparable on %d ops, geomean %.2f (paper: 14 ops, 1.09)\n"
+    (List.length comparable)
+    (if comparable = [] then 1.0
+     else Bench_common.geomean (List.map snd comparable));
+  { rows; trained }

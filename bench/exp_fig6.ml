@@ -1,0 +1,90 @@
+(* Figure 6 — search efficiency: evolution of the best speedup found as
+   the number of explored schedules grows, RL agent vs exhaustive
+   search, per operation kind. *)
+
+let checkpoints = [ 1; 5; 10; 25; 50; 100; 200; 400; 600; 1000; 1500 ]
+
+let series_at trace =
+  (* trace: (explored, best) array; sample it at the checkpoints that
+     the trace actually reaches *)
+  let n = Array.length trace in
+  let limit = if n = 0 then 0 else fst trace.(n - 1) in
+  List.filter_map
+    (fun cp ->
+      if cp > limit then None
+      else begin
+        let best = ref None in
+        Array.iter (fun (i, sp) -> if i <= cp then best := Some sp) trace;
+        Option.map (fun b -> (cp, b)) !best
+      end)
+    checkpoints
+
+let rl_trace rng (trained : Bench_common.trained) op ~episodes =
+  (* Each stochastic episode measures exactly one schedule (Final
+     reward), so episodes = schedules explored. *)
+  let best = ref 0.0 in
+  let trace = ref [] in
+  for episode = 1 to episodes do
+    let _, speedup =
+      Trainer.sampled_best rng trained.Bench_common.env trained.Bench_common.policy
+        op ~trials:1
+    in
+    if speedup > !best then best := speedup;
+    trace := (episode, !best) :: !trace
+  done;
+  Array.of_list (List.rev !trace)
+
+let run (c : Bench_common.config) (trained : Bench_common.trained) =
+  Bench_common.heading
+    "Figure 6 — best speedup vs schedules explored (RL vs exhaustive search)";
+  let split = Generator.generate ~seed:c.Bench_common.seed () in
+  let ev = Env.evaluator trained.Bench_common.env in
+  let rng = Util.Rng.create (c.Bench_common.seed + 2) in
+  let pick kind =
+    Array.to_list split.Generator.validation
+    |> List.filter (fun op -> Linalg.kind_name op = kind)
+    |> function
+    | [] -> None
+    | op :: _ -> Some op
+  in
+  List.iter
+    (fun kind ->
+      match pick kind with
+      | None -> ()
+      | Some op ->
+          Bench_common.subheading (Printf.sprintf "%s (%s)" kind op.Linalg.op_name);
+          let auto_config =
+            {
+              Auto_scheduler.default_config with
+              Auto_scheduler.max_schedules = c.Bench_common.autosched_budget;
+            }
+          in
+          let auto = Auto_scheduler.search ~config:auto_config ev op in
+          let rl =
+            rl_trace rng trained op ~episodes:c.Bench_common.fig6_episodes
+          in
+          Printf.printf "%-10s %15s %15s\n" "explored" "RL best x" "exhaustive x";
+          let rl_series = series_at rl in
+          let auto_series = series_at auto.Auto_scheduler.trace in
+          List.iter
+            (fun cp ->
+              let f series =
+                match List.assoc_opt cp series with
+                | Some v -> Printf.sprintf "%15.1f" v
+                | None -> Printf.sprintf "%15s" "-"
+              in
+              Printf.printf "%-10d %s %s\n" cp (f rl_series) (f auto_series))
+            checkpoints;
+          Printf.printf
+            "RL reaches %.0fx after %d schedules; exhaustive search needs %s\n"
+            (match rl_series with [] -> 1.0 | l -> snd (List.hd (List.rev l)))
+            (match rl_series with [] -> 0 | l -> fst (List.hd (List.rev l)))
+            (let target =
+               match rl_series with [] -> 1.0 | l -> snd (List.hd (List.rev l))
+             in
+             match
+               Array.find_opt (fun (_, sp) -> sp >= target) auto.Auto_scheduler.trace
+             with
+             | Some (i, _) -> Printf.sprintf "%d schedules for the same level" i
+             | None -> "more than its whole budget for the same level"))
+    [ "matmul"; "conv2d"; "maxpool"; "add"; "relu" ]

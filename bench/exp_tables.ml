@@ -1,0 +1,51 @@
+(* Table 1 (feature shapes) and Table 2 (dataset distribution). *)
+
+let table1 () =
+  Bench_common.heading "Table 1 — shape of each extracted feature";
+  let cfg = Env_config.default in
+  let n = cfg.Env_config.n_max
+  and l = cfg.Env_config.l_max
+  and d = cfg.Env_config.d_max
+  and tau = cfg.Env_config.tau in
+  Printf.printf "%-34s %-22s %8s\n" "feature" "shape" "floats";
+  let row name shape count = Printf.printf "%-34s %-22s %8d\n" name shape count in
+  row "Loop Information" (Printf.sprintf "N = %d" n) n;
+  row "Load Access Matrices"
+    (Printf.sprintf "L x D x (N+1) = %dx%dx%d" l d (n + 1))
+    (l * d * (n + 1));
+  row "Store Access Matrix"
+    (Printf.sprintf "D x (N+1) = %dx%d" d (n + 1))
+    (d * (n + 1));
+  row "Mathematical Operations Count" "6" 6;
+  row "History of Optimizations"
+    (Printf.sprintf "N x 3 x tau = %dx3x%d" n tau)
+    (n * 3 * tau);
+  Printf.printf "%-34s %-22s %8d\n" "total (observation vector)" ""
+    (Env_config.obs_dim cfg);
+  (* live check against a real op *)
+  let st = Sched_state.init (Linalg.matmul ~m:512 ~n:512 ~k:512 ()) in
+  assert (Array.length (Observation.extract cfg st) = Env_config.obs_dim cfg);
+  Printf.printf "(verified against a live extraction)\n"
+
+let table2 (c : Bench_common.config) =
+  Bench_common.heading "Table 2 — operation distribution (train / validation)";
+  let split = Generator.generate ~seed:c.Bench_common.seed () in
+  let train = Generator.kind_counts split.Generator.train in
+  let validation = Generator.kind_counts split.Generator.validation in
+  let paper =
+    [
+      ("matmul", (175, 15)); ("conv2d", (232, 18)); ("maxpool", (200, 10));
+      ("add", (248, 10)); ("relu", (233, 14));
+    ]
+  in
+  Printf.printf "%-12s %14s %14s %20s\n" "operation" "train (ours)" "val (ours)"
+    "paper (train/val)";
+  List.iter
+    (fun (k, (pt, pv)) ->
+      Printf.printf "%-12s %14d %14d %17d/%d\n" k (List.assoc k train)
+        (List.assoc k validation) pt pv)
+    paper;
+  Printf.printf "%-12s %14d %14d %17d/%d\n" "total"
+    (Array.length split.Generator.train)
+    (Array.length split.Generator.validation)
+    1088 67

@@ -1,0 +1,85 @@
+(* Micro-benchmarks (Bechamel): per-call cost of the pieces that
+   dominate experiment runtime — the timing oracle, schedule
+   application, feature extraction, policy inference and the reference
+   interpreter. *)
+
+open Bechamel
+open Toolkit
+
+let make_tests () =
+  let op = Linalg.matmul ~m:512 ~n:512 ~k:512 () in
+  let sched =
+    match Schedule.of_string "P(64,64,0) T(8,64,64) S(1) V" with
+    | Ok s -> s
+    | Error e -> failwith e
+  in
+  let state = Result.get_ok (Sched_state.apply_all op sched) in
+  let ev = Evaluator.create () in
+  let cfg = Env_config.default in
+  let rng = Util.Rng.create 1 in
+  let policy = Policy.create ~hidden:128 ~backbone_layers:2 rng cfg in
+  let st0 = Sched_state.init op in
+  let obs = Observation.extract cfg st0 in
+  let masks = Action_space.masks cfg st0 in
+  let small = Linalg.matmul ~m:16 ~n:16 ~k:16 () in
+  let small_nest = Lower.to_loop_nest small in
+  let inputs =
+    [
+      ("A", Array.init 256 (fun _ -> Util.Rng.uniform rng));
+      ("B", Array.init 256 (fun _ -> Util.Rng.uniform rng));
+    ]
+  in
+  Test.make_grouped ~name:"micro"
+    [
+      Test.make ~name:"cost-model estimate"
+        (Staged.stage (fun () ->
+             Cost_model.seconds ~machine:Machine.e5_2680_v4
+               ~iter_kinds:op.Linalg.iter_kinds state.Sched_state.nest));
+      Test.make ~name:"schedule apply (4 steps)"
+        (Staged.stage (fun () -> Sched_state.apply_all op sched));
+      Test.make ~name:"feature extraction"
+        (Staged.stage (fun () -> Observation.extract cfg st0));
+      Test.make ~name:"policy act (hidden 128)"
+        (Staged.stage (fun () -> Policy.act rng policy ~obs ~masks));
+      Test.make ~name:"evaluator measure"
+        (Staged.stage (fun () -> Evaluator.state_seconds ev state));
+      Test.make ~name:"interp 16x16x16 matmul"
+        (Staged.stage (fun () -> Interp.run small_nest ~inputs));
+      Test.make ~name:"beam search (256^3 matmul)"
+        (Staged.stage
+           (let small_op = Linalg.matmul ~m:256 ~n:256 ~k:256 () in
+            let beam_cfg =
+              { Beam_search.default_config with Beam_search.beam_width = 4 }
+            in
+            fun () -> Beam_search.search ~config:beam_cfg ev small_op));
+      Test.make ~name:"IR print+parse roundtrip"
+        (Staged.stage
+           (let text = Ir_printer.to_string state.Sched_state.nest in
+            fun () -> Ir_parser.parse text));
+    ]
+
+let run () =
+  Bench_common.heading "Micro-benchmarks (Bechamel)";
+  let benchmark () =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+    in
+    Benchmark.all cfg instances (make_tests ())
+  in
+  let analyze raw =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  let results = analyze (benchmark ()) in
+  Printf.printf "%-34s %16s\n" "benchmark" "ns/run";
+  let rows = ref [] in
+  Hashtbl.iter (fun name ols -> rows := (name, ols) :: !rows) results;
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (t :: _) -> Printf.printf "%-34s %16.1f\n" name t
+      | Some [] | None -> Printf.printf "%-34s %16s\n" name "n/a")
+    (List.sort compare !rows)

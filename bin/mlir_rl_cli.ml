@@ -1,0 +1,384 @@
+(* mlir-rl: command-line driver for the RL environment, the baseline
+   auto-scheduler and the comparators.
+
+   Try:
+     dune exec bin/mlir_rl_cli.exe -- show matmul:512x512x512
+     dune exec bin/mlir_rl_cli.exe -- schedule matmul:512x512x512 "P(64,64,0) T(8,64,64) S(1) V"
+     dune exec bin/mlir_rl_cli.exe -- autoschedule conv2d:56x56x64,k3,f128,s1
+     dune exec bin/mlir_rl_cli.exe -- train --iterations 20 --hidden 64
+     dune exec bin/mlir_rl_cli.exe -- compare maxpool:112x112x64,k2,s2 *)
+
+open Cmdliner
+
+let op_of_spec spec =
+  match Op_spec.parse spec with
+  | Ok op -> op
+  | Error e ->
+      Format.eprintf "bad op spec %S: %s@.examples:@." spec e;
+      List.iter (Format.eprintf "  %s@.") Op_spec.examples;
+      exit 2
+
+let spec_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"OP"
+        ~doc:"Operation spec, e.g. matmul:1024x1024x1024 or conv2d:56x56x64,k3,f128,s1")
+
+(* --- show --- *)
+
+let show_cmd =
+  let run spec =
+    let op = op_of_spec spec in
+    Format.printf "%a@.@." Linalg.pp op;
+    Format.printf "%s@." (Ir_printer.to_string (Lower.to_loop_nest op))
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Print an operation and its canonical loop nest")
+    Term.(const run $ spec_arg)
+
+(* --- schedule --- *)
+
+let schedule_cmd =
+  let run spec sched_str =
+    let op = op_of_spec spec in
+    let sched =
+      match Schedule.of_string sched_str with
+      | Ok s -> s
+      | Error e ->
+          Format.eprintf "bad schedule %S: %s@." sched_str e;
+          exit 2
+    in
+    match Sched_state.apply_all op sched with
+    | Error e ->
+        Format.eprintf "schedule rejected: %s@." e;
+        exit 1
+    | Ok st ->
+        Format.printf "%s@.@." (Ir_printer.to_string st.Sched_state.nest);
+        let ev = Evaluator.create () in
+        let base = Evaluator.base_seconds ev op in
+        let speedup = Evaluator.speedup ev st in
+        Format.printf "base time : %.6f s@." base;
+        Format.printf "time      : %.6f s@." (base /. speedup);
+        Format.printf "speedup   : %.2fx@." speedup
+  in
+  let sched_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"SCHEDULE" ~doc:"Schedule, e.g. \"P(64,64,0) T(8,64,64) S(1) V\"")
+  in
+  Cmd.v
+    (Cmd.info "schedule"
+       ~doc:"Apply a schedule to an operation; print the nest and estimated speedup")
+    Term.(const run $ spec_arg $ sched_arg)
+
+(* --- features --- *)
+
+let features_cmd =
+  let run spec =
+    let op = op_of_spec spec in
+    let cfg = Env_config.default in
+    let st = Sched_state.init op in
+    let obs = Observation.extract cfg st in
+    Format.printf "observation length: %d (Table 1: N + L*D*(N+1) + D*(N+1) + 6 + N*3*tau)@."
+      (Array.length obs);
+    let info = Observation.loop_info cfg st in
+    Format.printf "loop info: [%s]@."
+      (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.3f") info)));
+    Array.iteri
+      (fun i o ->
+        Format.printf "access matrix of input %d (%s):@." i o.Linalg.name;
+        let m = Affine.to_matrix o.Linalg.map in
+        Array.iter
+          (fun row ->
+            Format.printf "  [%s]@."
+              (String.concat " " (Array.to_list (Array.map string_of_int row))))
+          m)
+      op.Linalg.inputs;
+    Format.printf "math op counts (add sub mul div exp log): [%s]@."
+      (String.concat "; "
+         (Array.to_list (Array.map string_of_int (Linalg.math_op_counts op))))
+  in
+  Cmd.v
+    (Cmd.info "features" ~doc:"Print the observation extracted from an operation")
+    Term.(const run $ spec_arg)
+
+(* --- autoschedule --- *)
+
+let autoschedule_cmd =
+  let run spec budget =
+    let op = op_of_spec spec in
+    let ev = Evaluator.create () in
+    let config =
+      { Auto_scheduler.default_config with Auto_scheduler.max_schedules = budget }
+    in
+    let r = Auto_scheduler.search ~config ev op in
+    Format.printf "explored : %d schedules@." r.Auto_scheduler.explored;
+    Format.printf "best     : %s@." (Schedule.to_string r.Auto_scheduler.best_schedule);
+    Format.printf "speedup  : %.2fx@." r.Auto_scheduler.best_speedup;
+    let base = Evaluator.base_seconds ev op in
+    Format.printf "time     : %.6f s (base %.6f s)@."
+      (base /. r.Auto_scheduler.best_speedup)
+      base
+  in
+  let budget_arg =
+    Arg.(value & opt int 3000 & info [ "budget" ] ~doc:"Exploration budget")
+  in
+  Cmd.v
+    (Cmd.info "autoschedule"
+       ~doc:"Run the baseline exhaustive auto-scheduler on an operation")
+    Term.(const run $ spec_arg $ budget_arg)
+
+(* --- compare --- *)
+
+let compare_cmd =
+  let run spec budget =
+    let op = op_of_spec spec in
+    let ev = Evaluator.create () in
+    let base = Evaluator.base_seconds ev op in
+    let config =
+      { Auto_scheduler.default_config with Auto_scheduler.max_schedules = budget }
+    in
+    let auto = Auto_scheduler.search ~config ev op in
+    let expert_sched, expert_speedup = Tf_baseline.expert_schedule ev op in
+    let tf = Tf_baseline.tf_seconds ev op in
+    let tf_jit = Tf_baseline.tf_jit_seconds ev op in
+    Format.printf "%-18s %14s %10s@." "method" "time (s)" "speedup";
+    let row name t =
+      Format.printf "%-18s %14.6f %9.1fx@." name t (base /. t)
+    in
+    row "base (no opt)" base;
+    row "auto-scheduler" (base /. auto.Auto_scheduler.best_speedup);
+    row "expert menu" (base /. expert_speedup);
+    row "tensorflow" tf;
+    row "tensorflow-jit" tf_jit;
+    Format.printf "@.auto-scheduler schedule: %s@."
+      (Schedule.to_string auto.Auto_scheduler.best_schedule);
+    Format.printf "expert schedule        : %s@." (Schedule.to_string expert_sched)
+  in
+  let budget_arg =
+    Arg.(value & opt int 3000 & info [ "budget" ] ~doc:"Auto-scheduler budget")
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Compare base / auto-scheduler / TF on one operation")
+    Term.(const run $ spec_arg $ budget_arg)
+
+(* --- dataset --- *)
+
+let dataset_cmd =
+  let run seed samples =
+    let split = Generator.generate ~seed () in
+    Format.printf "Table 2 reproduction (seed %d)@." seed;
+    Format.printf "%-12s %8s %12s@." "operation" "training" "validation";
+    let train_counts = Generator.kind_counts split.Generator.train in
+    let val_counts = Generator.kind_counts split.Generator.validation in
+    List.iter
+      (fun (k, n_train) ->
+        Format.printf "%-12s %8d %12d@." k n_train (List.assoc k val_counts))
+      train_counts;
+    Format.printf "%-12s %8d %12d@." "total"
+      (Array.length split.Generator.train)
+      (Array.length split.Generator.validation);
+    if samples > 0 then begin
+      Format.printf "@.sample validation ops:@.";
+      Array.iteri
+        (fun i op ->
+          if i < samples then
+            Format.printf "  %s@."
+              (Option.value ~default:op.Linalg.op_name (Op_spec.to_spec op)))
+        split.Generator.validation
+    end
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Generator seed") in
+  let samples_arg =
+    Arg.(value & opt int 5 & info [ "samples" ] ~doc:"How many sample specs to print")
+  in
+  Cmd.v
+    (Cmd.info "dataset" ~doc:"Generate and summarize the Table 2 dataset")
+    Term.(const run $ seed_arg $ samples_arg)
+
+(* --- train --- *)
+
+let train_cmd =
+  let run iterations hidden seed immediate specs save_path =
+    let cfg = Env_config.default in
+    let cfg =
+      if immediate then Env_config.with_reward_mode Env_config.Immediate cfg
+      else cfg
+    in
+    let env = Env.create cfg in
+    let rng = Util.Rng.create seed in
+    let policy = Policy.create ~hidden ~backbone_layers:2 rng cfg in
+    let ops =
+      if specs = [] then begin
+        let split = Generator.generate ~seed () in
+        split.Generator.train
+      end
+      else Array.of_list (List.map op_of_spec specs)
+    in
+    Format.printf "training on %d ops | %d iterations | hidden %d | %s reward | %d params@.@."
+      (Array.length ops) iterations hidden
+      (if immediate then "Immediate" else "Final")
+      (Policy.param_count policy);
+    let config =
+      { Trainer.default_config with Trainer.iterations; seed }
+    in
+    let _ =
+      Trainer.train config env policy ~ops ~callback:(fun s ->
+          Format.printf
+            "iter %4d | return %7.3f | geomean speedup %9.2fx | best %9.1fx | kl %.4f@."
+            s.Trainer.iteration s.Trainer.mean_episode_return
+            s.Trainer.mean_final_speedup s.Trainer.best_speedup
+            s.Trainer.ppo_stats.Ppo.approx_kl)
+    in
+    Format.printf "@.greedy schedules:@.";
+    Array.iteri
+      (fun i op ->
+        if i < 5 then begin
+          let sched, speedup = Trainer.greedy_rollout env policy op in
+          Format.printf "  %-40s %9.1fx  %s@." op.Linalg.op_name speedup
+            (Schedule.to_string sched)
+        end)
+      ops;
+    match save_path with
+    | Some path ->
+        Policy.save policy path;
+        Format.printf "@.weights saved to %s@." path
+    | None -> ()
+  in
+  let iters = Arg.(value & opt int 30 & info [ "iterations" ] ~doc:"PPO iterations") in
+  let hidden = Arg.(value & opt int 64 & info [ "hidden" ] ~doc:"Hidden width") in
+  let seed = Arg.(value & opt int 0 & info [ "seed" ] ~doc:"Seed") in
+  let immediate =
+    Arg.(value & flag & info [ "immediate" ] ~doc:"Use the Immediate reward")
+  in
+  let specs =
+    Arg.(value & opt_all string [] & info [ "op" ] ~doc:"Train on specific op specs")
+  in
+  let save_path =
+    Arg.(value & opt (some string) None & info [ "save" ] ~doc:"Save weights to FILE")
+  in
+  Cmd.v
+    (Cmd.info "train" ~doc:"Train the multi-action PPO agent")
+    Term.(const run $ iters $ hidden $ seed $ immediate $ specs $ save_path)
+
+(* --- infer --- *)
+
+let infer_cmd =
+  let run spec hidden load_path trials =
+    let op = op_of_spec spec in
+    let cfg = Env_config.default in
+    let env = Env.create cfg in
+    let rng = Util.Rng.create 0 in
+    let policy = Policy.create ~hidden ~backbone_layers:2 rng cfg in
+    (match Policy.load policy load_path with
+    | Ok () -> ()
+    | Error e ->
+        Format.eprintf "failed to load %s: %s@." load_path e;
+        exit 1);
+    let sched, speedup = Trainer.greedy_rollout env policy op in
+    Format.printf "greedy   : %s (%.1fx)@." (Schedule.to_string sched) speedup;
+    if trials > 0 then begin
+      let sched_s, speedup_s =
+        Trainer.sampled_best (Util.Rng.create 1) env policy op ~trials
+      in
+      Format.printf "best of %d: %s (%.1fx)@." trials
+        (Schedule.to_string sched_s) speedup_s
+    end
+  in
+  let hidden =
+    Arg.(value & opt int 64 & info [ "hidden" ] ~doc:"Hidden width used at training")
+  in
+  let load_path =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "load" ] ~doc:"Weights file written by train --save")
+  in
+  let trials =
+    Arg.(value & opt int 16 & info [ "trials" ] ~doc:"Sampled rollouts to try")
+  in
+  Cmd.v
+    (Cmd.info "infer" ~doc:"Run a trained agent on one operation")
+    Term.(const run $ spec_arg $ hidden $ load_path $ trials)
+
+(* --- play: interactive environment session --- *)
+
+let play_cmd =
+  let run spec immediate =
+    let op = op_of_spec spec in
+    let cfg =
+      if immediate then Env_config.with_reward_mode Env_config.Immediate Env_config.default
+      else Env_config.default
+    in
+    let env = Env.create cfg in
+    ignore (Env.reset env op);
+    Format.printf "%s@.@." (Env.render env);
+    Format.printf
+      "enter transformations (e.g. \"P(32,32,0)\", \"T(0,8,8)\", \"S(1)\", \"C\", \"V\"),@.\
+       or: obs | mask | ir | quit@.@.";
+    let finished = ref false in
+    (try
+       while not !finished do
+         Format.printf "> %!";
+         let line = String.trim (input_line stdin) in
+         match line with
+         | "" -> ()
+         | "quit" | "q" | "exit" -> raise Exit
+         | "ir" ->
+             Format.printf "%s@."
+               (Ir_printer.to_string (Env.state env).Sched_state.nest)
+         | "obs" ->
+             let obs = Observation.extract cfg (Env.state env) in
+             Format.printf "observation (%d floats): [" (Array.length obs);
+             Array.iteri
+               (fun i v -> if i < 24 then Format.printf "%s%.3f" (if i > 0 then "; " else "") v)
+               obs;
+             Format.printf "; ...]@."
+         | "mask" ->
+             let m = Env.masks env in
+             Format.printf "transformations: [%s]@."
+               (String.concat "; "
+                  (List.mapi
+                     (fun i b ->
+                       Printf.sprintf "%s=%b" (Action_space.transformation_label i) b)
+                     (Array.to_list m.Action_space.t_mask)))
+         | _ -> (
+             match Schedule.of_string line with
+             | Error e -> Format.printf "parse error: %s@." e
+             | Ok [] -> ()
+             | Ok (tr :: _) ->
+                 let r = Env.step env (Some tr) in
+                 Format.printf "reward %.4f%s%s@.@.%s@.@." r.Env.reward
+                   (if r.Env.invalid then " (INVALID)" else "")
+                   (if r.Env.timed_out then " (TIMEOUT)" else "")
+                   (Env.render env);
+                 if r.Env.terminal then begin
+                   Format.printf "episode over: final speedup %.2fx@."
+                     (Env.current_speedup env);
+                   finished := true
+                 end)
+       done
+     with Exit | End_of_file -> ());
+    Format.printf "bye.@."
+  in
+  let immediate =
+    Arg.(value & flag & info [ "immediate" ] ~doc:"Show Immediate rewards per step")
+  in
+  Cmd.v
+    (Cmd.info "play"
+       ~doc:"Drive the RL environment interactively, one transformation at a time")
+    Term.(const run $ spec_arg $ immediate)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "mlir-rl" ~version:"1.0.0"
+             ~doc:"RL environment for automatic code optimization in a mini-MLIR")
+          ~default
+          [
+            show_cmd; schedule_cmd; features_cmd; autoschedule_cmd; compare_cmd;
+            dataset_cmd; train_cmd; infer_cmd; play_cmd;
+          ]))

@@ -1,0 +1,63 @@
+(* Auto-scheduling a ResNet-style convolution: run the paper's baseline
+   exhaustive auto-scheduler (§5.1.4) on a realistic conv layer, compare
+   against the simulated TensorFlow kernels, and show the im2col
+   trade-off.
+
+   Run with: dune exec examples/autoschedule_conv.exe *)
+
+let () =
+  (* conv3_x-style layer of ResNet-50 at batch 1 *)
+  let conv =
+    Linalg.conv2d
+      {
+        Linalg.batch = 1;
+        in_h = 58;
+        in_w = 58;
+        channels = 128;
+        kernel_h = 3;
+        kernel_w = 3;
+        filters = 128;
+        stride = 1;
+      }
+  in
+  let evaluator = Evaluator.create () in
+  let base = Evaluator.base_seconds evaluator conv in
+  Format.printf "operation : %s@." conv.Linalg.op_name;
+  Format.printf "base time : %.4f s (untransformed, single thread)@.@." base;
+
+  (* The paper's baseline: exhaustive exploration, tile sizes <= 64, at
+     least two tiled loops. *)
+  let result = Auto_scheduler.search evaluator conv in
+  Format.printf "auto-scheduler explored %d schedules@." result.Auto_scheduler.explored;
+  Format.printf "best schedule : %s@."
+    (Schedule.to_string result.Auto_scheduler.best_schedule);
+  Format.printf "best speedup  : %.1fx (%.6f s)@.@." result.Auto_scheduler.best_speedup
+    (base /. result.Auto_scheduler.best_speedup);
+
+  (* How fast did the search converge? (the Figure 6 curve) *)
+  Format.printf "convergence (explored -> best-so-far speedup):@.";
+  let checkpoints = [ 1; 10; 50; 100; 500; 1000; result.Auto_scheduler.explored ] in
+  Array.iter
+    (fun (i, sp) ->
+      if List.mem i checkpoints then Format.printf "  %5d -> %8.1fx@." i sp)
+    result.Auto_scheduler.trace;
+  Format.printf "@.";
+
+  (* Direct vs im2col: compare the best candidate of each family. *)
+  let direct_cfg =
+    { Auto_scheduler.default_config with Auto_scheduler.include_im2col = false }
+  in
+  let direct = Auto_scheduler.search ~config:direct_cfg evaluator conv in
+  Format.printf "best direct schedule : %s (%.1fx)@."
+    (Schedule.to_string direct.Auto_scheduler.best_schedule)
+    direct.Auto_scheduler.best_speedup;
+  let used_im2col = List.mem Schedule.Im2col result.Auto_scheduler.best_schedule in
+  Format.printf "im2col in overall best: %b@.@." used_im2col;
+
+  (* TensorFlow comparison (synthetic comparator, see DESIGN.md). *)
+  let tf = Tf_baseline.tf_seconds evaluator conv in
+  let tf_jit = Tf_baseline.tf_jit_seconds evaluator conv in
+  Format.printf "TensorFlow      : %.6f s (%.1fx over base)@." tf (base /. tf);
+  Format.printf "TensorFlow JIT  : %.6f s (%.1fx over base)@." tf_jit (base /. tf_jit);
+  let best_time = base /. result.Auto_scheduler.best_speedup in
+  Format.printf "auto-scheduler vs TF: %.2fx@." (tf /. best_time)

@@ -1,0 +1,77 @@
+(* End-to-end: optimize every operation of a small convolutional network
+   (the workload the paper's introduction motivates) with the beam
+   scheduler, fuse its elementwise tails, and compare against the
+   simulated TensorFlow kernels.
+
+   Run with: dune exec examples/optimize_model.exe *)
+
+type layer = { label : string; op : Linalg.t }
+
+let fused_bias_relu shape =
+  let producer = Linalg.bias_add shape in
+  let consumer = Linalg.relu shape in
+  Result.get_ok (Fusion.fuse ~producer ~consumer ~consumer_input:0)
+
+let build_model () =
+  [
+    {
+      label = "conv1 3x3, 3->32";
+      op =
+        Linalg.conv2d
+          { Linalg.batch = 1; in_h = 34; in_w = 34; channels = 3; kernel_h = 3;
+            kernel_w = 3; filters = 32; stride = 1 };
+    };
+    { label = "bias+relu 1 (fused)"; op = fused_bias_relu [| 1; 32; 32; 32 |] };
+    {
+      label = "maxpool 2x2";
+      op =
+        Linalg.maxpool
+          { Linalg.p_batch = 1; p_in_h = 32; p_in_w = 32; p_channels = 32;
+            p_kernel = 2; p_stride = 2 };
+    };
+    {
+      label = "conv2 3x3, 32->64";
+      op =
+        Linalg.conv2d
+          { Linalg.batch = 1; in_h = 16; in_w = 16; channels = 32; kernel_h = 3;
+            kernel_w = 3; filters = 64; stride = 1 };
+    };
+    { label = "bias+relu 2 (fused)"; op = fused_bias_relu [| 1; 14; 14; 64 |] };
+    {
+      label = "avgpool 2x2";
+      op =
+        Linalg.avgpool
+          { Linalg.p_batch = 1; p_in_h = 14; p_in_w = 14; p_channels = 64;
+            p_kernel = 2; p_stride = 2 };
+    };
+    { label = "fc1 3136->512"; op = Linalg.matmul ~m:1 ~n:512 ~k:3136 () };
+    { label = "fc1 bias+relu (fused)"; op = fused_bias_relu [| 1; 512 |] };
+    { label = "fc2 512->10"; op = Linalg.matmul ~m:1 ~n:10 ~k:512 () };
+  ]
+
+let () =
+  let evaluator = Evaluator.create () in
+  let layers = build_model () in
+  Format.printf "Optimizing a %d-layer CNN (batch 1) with the beam scheduler@.@."
+    (List.length layers);
+  Format.printf "%-24s %12s %12s %10s  %s@." "layer" "base (s)" "best (s)"
+    "speedup" "schedule";
+  let totals =
+    List.fold_left
+      (fun (base_total, best_total, tf_total) { label; op } ->
+        let base = Evaluator.base_seconds evaluator op in
+        let r = Beam_search.search evaluator op in
+        let best = base /. r.Beam_search.best_speedup in
+        let tf = Tf_baseline.tf_seconds evaluator op in
+        Format.printf "%-24s %12.3e %12.3e %9.1fx  %s@." label base best
+          r.Beam_search.best_speedup
+          (Schedule.to_string r.Beam_search.best_schedule);
+        (base_total +. base, best_total +. best, tf_total +. tf))
+      (0.0, 0.0, 0.0) layers
+  in
+  let base_total, best_total, tf_total = totals in
+  Format.printf "@.%-24s %12.3e@." "total, unoptimized" base_total;
+  Format.printf "%-24s %12.3e (%.0fx end-to-end)@." "total, scheduled" best_total
+    (base_total /. best_total);
+  Format.printf "%-24s %12.3e@." "total, TensorFlow" tf_total;
+  Format.printf "scheduled vs TensorFlow : %.2fx@." (tf_total /. best_total)

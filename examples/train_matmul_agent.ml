@@ -1,0 +1,45 @@
+(* Train a Multi-Action PPO agent on matrix multiplications and watch it
+   learn to emit good schedules (a scaled-down version of the paper's
+   training loop, with the paper's PPO hyperparameters but a smaller
+   network so it runs in about a minute on one core).
+
+   Run with: dune exec examples/train_matmul_agent.exe *)
+
+let () =
+  let cfg = Env_config.default in
+  let env = Env.create cfg in
+  let rng = Util.Rng.create 2026 in
+  let policy = Policy.create ~hidden:64 ~backbone_layers:2 rng cfg in
+  Format.printf "policy parameters: %d@.@." (Policy.param_count policy);
+
+  (* A small pool of matmuls of different shapes. *)
+  let ops =
+    [|
+      Linalg.matmul ~m:512 ~n:512 ~k:512 ();
+      Linalg.matmul ~m:1024 ~n:256 ~k:512 ();
+      Linalg.matmul ~m:256 ~n:1024 ~k:1024 ();
+    |]
+  in
+  let config = { Trainer.default_config with Trainer.iterations = 25; seed = 1 } in
+  Format.printf "training %d iterations x %d steps (Final reward, hierarchical space)@.@."
+    config.Trainer.iterations config.Trainer.ppo.Ppo.batch_size;
+  let _ =
+    Trainer.train config env policy ~ops ~callback:(fun s ->
+        if s.Trainer.iteration mod 5 = 0 || s.Trainer.iteration = 1 then
+          Format.printf
+            "iter %3d | mean return %7.3f | geomean episode speedup %9.2fx | best %9.1fx@."
+            s.Trainer.iteration s.Trainer.mean_episode_return
+            s.Trainer.mean_final_speedup s.Trainer.best_speedup)
+  in
+  Format.printf "@.greedy inference on a held-out shape:@.";
+  let test_op = Linalg.matmul ~m:512 ~n:1024 ~k:256 () in
+  let sched, speedup = Trainer.greedy_rollout env policy test_op in
+  Format.printf "  %s@.  schedule: %s@.  speedup : %.1fx@.@." test_op.Linalg.op_name
+    (Schedule.to_string sched) speedup;
+  let sched_s, speedup_s = Trainer.sampled_best rng env policy test_op ~trials:16 in
+  Format.printf "best of 16 sampled rollouts: %s (%.1fx)@."
+    (Schedule.to_string sched_s) speedup_s;
+  let auto = Auto_scheduler.search (Env.evaluator env) test_op in
+  Format.printf "auto-scheduler reference  : %s (%.1fx, %d schedules)@."
+    (Schedule.to_string auto.Auto_scheduler.best_schedule)
+    auto.Auto_scheduler.best_speedup auto.Auto_scheduler.explored

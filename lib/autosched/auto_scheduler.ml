@@ -1,0 +1,262 @@
+type config = {
+  tile_sizes : int list;
+  min_tiled_loops : int;
+  par_loops_considered : int;
+  include_interchange : bool;
+  include_im2col : bool;
+  max_schedules : int;
+}
+
+let default_config =
+  {
+    tile_sizes = [];
+    (* empty = derive from divisors, capped at 64 (paper §5.1.4) *)
+    min_tiled_loops = 2;
+    par_loops_considered = 3;
+    include_interchange = true;
+    include_im2col = true;
+    max_schedules = 3000;
+  }
+
+type result = {
+  best_schedule : Schedule.t;
+  best_speedup : float;
+  explored : int;
+  trace : (int * float) array;
+}
+
+let max_tile_size = 64
+let max_options_per_loop = 4
+
+(* Candidate tile sizes for one loop: the largest few divisors <= 64
+   (or the configured list), always alongside 0 = untiled. *)
+let loop_options config trip =
+  let pool =
+    match config.tile_sizes with
+    | [] -> List.filter (fun d -> d <= max_tile_size && d > 1) (Loop_transforms.divisors trip)
+    | sizes -> List.filter (fun s -> s > 1 && s <= trip && trip mod s = 0) sizes
+  in
+  let sorted = List.sort (fun a b -> compare b a) pool in
+  let rec take k = function
+    | [] -> []
+    | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+  in
+  0 :: take max_options_per_loop sorted
+
+let count_nonzero l = List.length (List.filter (fun s -> s > 0) l)
+
+let rec product (options : int list list) : int list Seq.t =
+  match options with
+  | [] -> Seq.return []
+  | opts :: rest ->
+      Seq.concat_map
+        (fun choice -> Seq.map (fun tail -> choice :: tail) (product rest))
+        (List.to_seq opts)
+
+(* One schedule from (par combo option, tile combo, swap option). *)
+let assemble ~prefix ~par_opt ~tile_combo ~swap_opt =
+  (match par_opt with
+  | Some sizes when count_nonzero (Array.to_list sizes) > 0 ->
+      [ Schedule.Parallelize sizes ]
+  | Some _ | None -> [])
+  @ (if count_nonzero (Array.to_list tile_combo) > 0 then
+       [ Schedule.Tile tile_combo ]
+     else [])
+  @ (match swap_opt with Some i -> [ Schedule.Swap i ] | None -> [])
+  @ [ Schedule.Vectorize ]
+  |> fun steps -> prefix @ steps
+
+type domain_space = {
+  prefix : Schedule.t;
+  trips : int array;
+  par_slots : (int * int list) list;  (* (loop index, size options incl 0) *)
+  swap_opts : int option list;
+}
+
+let make_space config ~prefix ~trips ~iter_kinds =
+  let n = Array.length trips in
+  let par_slots =
+    let eligible = ref [] in
+    let taken = ref 0 in
+    Array.iteri
+      (fun l trip ->
+        if
+          !taken < config.par_loops_considered
+          && trip > 1
+          && l < Array.length iter_kinds
+          && iter_kinds.(l) = Linalg.Parallel_iter
+        then begin
+          let opts = loop_options config trip in
+          if List.length opts > 1 then begin
+            eligible := (l, opts) :: !eligible;
+            incr taken
+          end
+        end)
+      trips;
+    List.rev !eligible
+  in
+  let swap_opts =
+    if config.include_interchange && n >= 2 then
+      None :: List.init (n - 1) (fun i -> Some i)
+    else [ None ]
+  in
+  { prefix; trips; par_slots; swap_opts }
+
+(* Exhaustive stream over one domain space. *)
+let space_candidates config (space : domain_space) : Schedule.t Seq.t =
+  let n = Array.length space.trips in
+  let par_combos : int array option Seq.t =
+    let slot_opts = List.map snd space.par_slots in
+    Seq.cons None
+      (Seq.filter_map
+         (fun combo ->
+           if count_nonzero combo = 0 then None
+           else begin
+             let sizes = Array.make n 0 in
+             List.iteri
+               (fun k size -> sizes.(fst (List.nth space.par_slots k)) <- size)
+               combo;
+             Some (Some sizes)
+           end)
+         (product slot_opts))
+  in
+  Seq.concat_map
+    (fun par_opt ->
+      let effective =
+        match par_opt with
+        | None -> space.trips
+        | Some sizes ->
+            Array.mapi (fun l s -> if s > 0 then s else space.trips.(l)) sizes
+      in
+      let par_count =
+        match par_opt with
+        | None -> 0
+        | Some sizes -> count_nonzero (Array.to_list sizes)
+      in
+      let tile_opts =
+        Array.to_list (Array.map (fun trip -> loop_options config trip) effective)
+      in
+      Seq.concat_map
+        (fun tile_combo ->
+          if par_count + count_nonzero tile_combo < config.min_tiled_loops then
+            Seq.empty
+          else
+            Seq.map
+              (fun swap_opt ->
+                assemble ~prefix:space.prefix ~par_opt
+                  ~tile_combo:(Array.of_list tile_combo) ~swap_opt)
+              (List.to_seq space.swap_opts))
+        (product tile_opts))
+    par_combos
+
+(* Seeded random draw from one domain space. *)
+let random_candidate rng config (space : domain_space) =
+  let n = Array.length space.trips in
+  let par_opt =
+    if space.par_slots <> [] && Util.Rng.bool rng then begin
+      let sizes = Array.make n 0 in
+      List.iter
+        (fun (l, opts) -> sizes.(l) <- Util.Rng.choice_list rng opts)
+        space.par_slots;
+      if Array.exists (fun s -> s > 0) sizes then Some sizes else None
+    end
+    else None
+  in
+  let effective =
+    match par_opt with
+    | None -> space.trips
+    | Some sizes -> Array.mapi (fun l s -> if s > 0 then s else space.trips.(l)) sizes
+  in
+  let tile_combo =
+    Array.map (fun trip -> Util.Rng.choice_list rng (loop_options config trip)) effective
+  in
+  let par_count =
+    match par_opt with
+    | None -> 0
+    | Some sizes -> count_nonzero (Array.to_list sizes)
+  in
+  if par_count + count_nonzero (Array.to_list tile_combo) < config.min_tiled_loops
+  then None
+  else begin
+    let swap_opt = Util.Rng.choice_list rng space.swap_opts in
+    Some (assemble ~prefix:space.prefix ~par_opt ~tile_combo ~swap_opt)
+  end
+
+let spaces config (op : Linalg.t) =
+  let plain =
+    make_space config ~prefix:[] ~trips:(Linalg.loop_bounds op)
+      ~iter_kinds:op.Linalg.iter_kinds
+  in
+  if config.include_im2col && Linalg.is_conv op then
+    match Im2col.rewrite op with
+    | Ok (gemm, _) ->
+        [ plain;
+          make_space config ~prefix:[ Schedule.Im2col ]
+            ~trips:(Linalg.loop_bounds gemm)
+            ~iter_kinds:gemm.Linalg.iter_kinds ]
+    | Error _ -> [ plain ]
+  else [ plain ]
+
+let space_size config (space : domain_space) =
+  let opt_count trip = List.length (loop_options config trip) in
+  let par =
+    List.fold_left (fun acc (_, opts) -> acc * List.length opts) 1 space.par_slots
+  in
+  let tiles = Array.fold_left (fun acc trip -> acc * opt_count trip) 1 space.trips in
+  (* Upper bound: ignores the min-tiled filter. *)
+  par * tiles * List.length space.swap_opts
+
+let candidates config (op : Linalg.t) : Schedule.t Seq.t =
+  Seq.cons
+    [ Schedule.Vectorize ]
+    (Seq.concat_map (space_candidates config) (List.to_seq (spaces config op)))
+
+let search ?(config = default_config) evaluator op =
+  let best_schedule = ref [ Schedule.Vectorize ] in
+  let best_speedup = ref 0.0 in
+  let explored = ref 0 in
+  let trace = ref [] in
+  let evaluate sched =
+    match Evaluator.schedule_speedup evaluator op sched with
+    | Error _ -> ()
+    | Ok speedup ->
+        incr explored;
+        if speedup > !best_speedup then begin
+          best_speedup := speedup;
+          best_schedule := sched
+        end;
+        trace := (!explored, !best_speedup) :: !trace
+  in
+  let sps = spaces config op in
+  let total_size =
+    1 + List.fold_left (fun acc s -> acc + space_size config s) 0 sps
+  in
+  if total_size <= config.max_schedules then
+    (* Small space: full exhaustive enumeration. *)
+    Seq.iter evaluate (candidates config op)
+  else begin
+    (* Large space: budgeted seeded sampling without replacement. *)
+    evaluate [ Schedule.Vectorize ];
+    let rng = Util.Rng.create (Hashtbl.hash op.Linalg.op_name) in
+    let seen = Hashtbl.create 1024 in
+    let attempts = ref 0 in
+    let max_attempts = config.max_schedules * 20 in
+    while !explored < config.max_schedules && !attempts < max_attempts do
+      incr attempts;
+      let space = Util.Rng.choice_list rng sps in
+      match random_candidate rng config space with
+      | None -> ()
+      | Some sched ->
+          let key = Schedule.to_string sched in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            evaluate sched
+          end
+    done
+  end;
+  {
+    best_schedule = !best_schedule;
+    best_speedup = !best_speedup;
+    explored = !explored;
+    trace = Array.of_list (List.rev !trace);
+  }

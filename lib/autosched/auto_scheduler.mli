@@ -1,0 +1,45 @@
+(** The baseline exhaustive auto-scheduler (paper §5.1.4).
+
+    Enumerates schedules of the shape
+    [im2col?; parallelize?; tile; interchange?; vectorize] under the
+    paper's constraints — tile sizes at most 64, at least two tiled
+    loops — evaluates each with the timing oracle and keeps the best.
+    The exploration trace (best speedup after each evaluated schedule)
+    feeds the Figure 6 search-efficiency comparison. *)
+
+type config = {
+  tile_sizes : int list;
+  (** candidate sizes; [\[\]] (the default) derives each loop's options
+      from its divisors, capped at 64 per the paper *)
+  min_tiled_loops : int;  (** paper: 2 *)
+  par_loops_considered : int;
+  (** how many leading non-trivial loops are eligible for parallel
+      tiling *)
+  include_interchange : bool;
+  include_im2col : bool;
+  max_schedules : int;  (** evaluation budget *)
+}
+
+val default_config : config
+(** divisor-derived sizes <= 64 (four largest per loop), min 2 tiled
+    loops, 3 parallel loops, interchange and im2col on, budget 3000.
+    When the space exceeds the budget, {!search} switches from full
+    enumeration to seeded random sampling without replacement. *)
+
+type result = {
+  best_schedule : Schedule.t;
+  best_speedup : float;
+  explored : int;  (** schedules actually evaluated *)
+  trace : (int * float) array;
+  (** (schedules evaluated so far, best speedup so far) — one point per
+      evaluation *)
+}
+
+val candidates : config -> Linalg.t -> Schedule.t Seq.t
+(** The deterministic candidate stream for an op, before the budget
+    cap. Exposed for tests. *)
+
+val search : ?config:config -> Evaluator.t -> Linalg.t -> result
+(** Run the search. Candidates whose application fails are skipped
+    without consuming budget. Always explores at least the trivial
+    [vectorize] schedule, so [best_speedup] is well-defined. *)

@@ -1,0 +1,30 @@
+(** Beam-search auto-scheduler.
+
+    A cost-model-guided tree search in the style of the Halide and
+    Tiramisu auto-schedulers the paper discusses (§2.2): states are
+    partial schedules, actions are single transformations (one or two
+    loops tiled per step, one adjacent swap, parallelization, im2col,
+    vectorization), and each state is scored by the timing oracle with
+    vectorization virtually appended. Complements the exhaustive
+    baseline (§5.1.4) with a much smaller exploration budget. *)
+
+type config = {
+  beam_width : int;
+  max_depth : int;  (** schedule length bound (the env's tau) *)
+  sizes_per_loop : int;  (** divisor options considered per loop *)
+  max_parallel_combos : int;
+  max_tile_size : int;
+}
+
+val default_config : config
+(** width 8, depth 7, 3 sizes/loop, 24 parallel combos, tiles <= 128. *)
+
+type result = {
+  best_schedule : Schedule.t;
+  best_speedup : float;
+  explored : int;  (** states evaluated by the oracle *)
+}
+
+val search : ?config:config -> Evaluator.t -> Linalg.t -> result
+(** Deterministic for a given op and config. The returned schedule
+    always ends with vectorization and applies cleanly. *)

@@ -1,0 +1,200 @@
+let t_tile = 0
+let t_parallelize = 1
+let t_interchange = 2
+let t_im2col = 3
+let t_vectorize = 4
+
+let transformation_label = function
+  | 0 -> "tiling"
+  | 1 -> "parallelization"
+  | 2 -> "interchange"
+  | 3 -> "im2col"
+  | 4 -> "vectorization"
+  | i -> invalid_arg (Printf.sprintf "transformation_label: %d" i)
+
+type hierarchical = {
+  transform : int;
+  tile_choices : int array;
+  swap_choice : int;
+}
+
+type masks = {
+  t_mask : bool array;
+  tile_mask : bool array array;
+  par_mask : bool array array;
+  swap_mask : bool array;
+}
+
+(* Tile size selected by each slot for each point loop: slot 0 = no
+   tiling; slots 1.. = largest divisors <= max_tile_size, descending
+   (1 and the full trip count are excluded — both leave the loop
+   effectively untiled). *)
+let slot_sizes (cfg : Env_config.t) (state : Sched_state.t) =
+  let m = Env_config.n_tile_choices cfg in
+  let trips = Sched_state.point_trip_counts state in
+  Array.map
+    (fun trip ->
+      let divisors =
+        List.filter
+          (fun d -> d > 1 && d < trip && d <= cfg.Env_config.max_tile_size)
+          (Loop_transforms.divisors trip)
+      in
+      let descending = List.rev divisors in
+      let slots = Array.make m 0 in
+      List.iteri (fun i d -> if i + 1 < m then slots.(i + 1) <- d) descending;
+      slots)
+    trips
+
+let masks (cfg : Env_config.t) (state : Sched_state.t) =
+  let n_max = cfg.Env_config.n_max in
+  let m = Env_config.n_tile_choices cfg in
+  let n_loops = Sched_state.n_point_loops state in
+  let sizes = slot_sizes cfg state in
+  let tile_mask =
+    Array.init n_max (fun l ->
+        if l < n_loops then
+          Array.init m (fun s -> s = 0 || sizes.(l).(s) > 0)
+        else Array.init m (fun j -> j = 0))
+  in
+  let par_mask =
+    Array.init n_max (fun l ->
+        if l < n_loops && Sched_state.parallelizable_loop state l then
+          Array.copy tile_mask.(l)
+        else Array.init m (fun j -> j = 0))
+  in
+  let has_positive rows =
+    Array.exists
+      (fun row -> Array.exists (fun b -> b) (Array.sub row 1 (m - 1)))
+      rows
+  in
+  let some_tiling_possible = has_positive (Array.sub tile_mask 0 (min n_loops n_max)) in
+  let some_par_possible = has_positive (Array.sub par_mask 0 (min n_loops n_max)) in
+  let swap_mask =
+    Array.init n_max (fun i -> i < n_loops - 1)
+  in
+  let t_mask =
+    [|
+      Sched_state.can_tile state && some_tiling_possible;
+      Sched_state.can_parallelize state && some_par_possible;
+      Sched_state.can_interchange state;
+      Sched_state.can_im2col state;
+      Sched_state.can_vectorize state;
+    |]
+  in
+  { t_mask; tile_mask; par_mask; swap_mask }
+
+let to_transformation (cfg : Env_config.t) (state : Sched_state.t) action =
+  let slots = slot_sizes cfg state in
+  let n_loops = Sched_state.n_point_loops state in
+  let sizes_of_choices () =
+    Array.init n_loops (fun l -> slots.(l).(action.tile_choices.(l)))
+  in
+  match action.transform with
+  | 0 ->
+      let sizes = sizes_of_choices () in
+      if Array.for_all (fun s -> s = 0) sizes then None
+      else Some (Schedule.Tile sizes)
+  | 1 ->
+      let sizes = sizes_of_choices () in
+      if Array.for_all (fun s -> s = 0) sizes then None
+      else Some (Schedule.Parallelize sizes)
+  | 2 -> Some (Schedule.Swap action.swap_choice)
+  | 3 -> Some Schedule.Im2col
+  | 4 -> Some Schedule.Vectorize
+  | i -> invalid_arg (Printf.sprintf "Action_space.to_transformation: %d" i)
+
+let cardinality (cfg : Env_config.t) ~n_loops =
+  let m = float_of_int (Env_config.n_tile_choices cfg) in
+  let n = float_of_int n_loops in
+  let rec fact k = if k <= 1.0 then 1.0 else k *. fact (k -. 1.0) in
+  (2.0 *. (m ** n)) +. fact n +. 2.0
+
+type simple_item = { label : string; transformation : Schedule.transformation }
+
+let simple_menu (cfg : Env_config.t) ~n_loops =
+  ignore cfg;
+  let tiles =
+    List.map
+      (fun size ->
+        {
+          label = Printf.sprintf "tile-all-%d" size;
+          transformation = Schedule.Tile (Array.make n_loops size);
+        })
+      [ 16; 32; 64 ]
+  in
+  let pars =
+    List.map
+      (fun size ->
+        let sizes = Array.make n_loops 0 in
+        sizes.(0) <- size;
+        if n_loops > 1 then sizes.(1) <- size;
+        {
+          label = Printf.sprintf "parallelize-outer-%d" size;
+          transformation = Schedule.Parallelize sizes;
+        })
+      [ 16; 32; 64 ]
+  in
+  let swaps =
+    List.init (max 0 (n_loops - 1)) (fun i ->
+        { label = Printf.sprintf "swap-%d" i; transformation = Schedule.Swap i })
+  in
+  Array.of_list
+    (tiles @ pars @ swaps
+    @ [
+        { label = "im2col"; transformation = Schedule.Im2col };
+        { label = "vectorize"; transformation = Schedule.Vectorize };
+      ])
+
+(* Zero out tile sizes that do not divide the current trip counts; an
+   entry is legal when at least one loop keeps a positive size. *)
+let legalize_sizes (state : Sched_state.t) sizes =
+  let trips = Sched_state.point_trip_counts state in
+  if Array.length sizes <> Array.length trips then None
+  else begin
+    let fixed =
+      Array.mapi
+        (fun l s -> if s > 0 && s <= trips.(l) && trips.(l) mod s = 0 then s else 0)
+        sizes
+    in
+    if Array.exists (fun s -> s > 0) fixed then Some fixed else None
+  end
+
+let legalize_par_sizes (state : Sched_state.t) sizes =
+  match legalize_sizes state sizes with
+  | None -> None
+  | Some fixed ->
+      let fixed =
+        Array.mapi
+          (fun l s -> if Sched_state.parallelizable_loop state l then s else 0)
+          fixed
+      in
+      if Array.exists (fun s -> s > 0) fixed then Some fixed else None
+
+let legalize (state : Sched_state.t) (tr : Schedule.transformation) =
+  match tr with
+  | Schedule.Tile sizes ->
+      Option.map (fun s -> Schedule.Tile s) (legalize_sizes state sizes)
+  | Schedule.Parallelize sizes ->
+      Option.map (fun s -> Schedule.Parallelize s) (legalize_par_sizes state sizes)
+  | Schedule.Swap i ->
+      if i < Sched_state.n_point_loops state - 1 then Some tr else None
+  | Schedule.Interchange _ | Schedule.Im2col | Schedule.Vectorize -> Some tr
+  | Schedule.Unroll f ->
+      if f >= 2 then Some tr else None
+
+let simple_mask (cfg : Env_config.t) (state : Sched_state.t) menu =
+  ignore cfg;
+  let n_loops = Sched_state.n_point_loops state in
+  Array.map
+    (fun item ->
+      match item.transformation with
+      | Schedule.Tile sizes ->
+          Sched_state.can_tile state && legalize_sizes state sizes <> None
+      | Schedule.Parallelize sizes ->
+          Sched_state.can_parallelize state && legalize_par_sizes state sizes <> None
+      | Schedule.Swap i -> Sched_state.can_interchange state && i < n_loops - 1
+      | Schedule.Interchange _ -> Sched_state.can_interchange state
+      | Schedule.Im2col -> Sched_state.can_im2col state
+      | Schedule.Vectorize -> Sched_state.can_vectorize state
+      | Schedule.Unroll _ -> Sched_state.can_tile state)
+    menu

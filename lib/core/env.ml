@@ -1,0 +1,153 @@
+type t = {
+  cfg : Env_config.t;
+  ev : Evaluator.t;
+  mutable sched : Sched_state.t option;
+  mutable steps : int;
+  mutable prev_seconds : float;  (* last measured time (Immediate mode) *)
+  mutable measurement_seconds : float;
+}
+
+type step_result = {
+  obs : float array;
+  reward : float;
+  terminal : bool;
+  timed_out : bool;
+  noop : bool;
+  invalid : bool;
+}
+
+let create ?evaluator cfg =
+  (match Env_config.validate cfg with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Env.create: " ^ msg));
+  let ev =
+    match evaluator with
+    | Some e -> e
+    | None -> Evaluator.create ~machine:cfg.Env_config.machine ()
+  in
+  { cfg; ev; sched = None; steps = 0; prev_seconds = 0.0; measurement_seconds = 0.0 }
+
+let config t = t.cfg
+let evaluator t = t.ev
+
+let state t =
+  match t.sched with
+  | Some s -> s
+  | None -> invalid_arg "Env: no episode in progress (call reset)"
+
+let reset t op =
+  let s = Sched_state.init op in
+  t.sched <- Some s;
+  t.steps <- 0;
+  t.prev_seconds <- Evaluator.base_seconds t.ev op;
+  Observation.extract t.cfg s
+
+let masks t = Action_space.masks t.cfg (state t)
+let step_count t = t.steps
+
+let charge_measurement t seconds =
+  t.measurement_seconds <-
+    t.measurement_seconds +. t.cfg.Env_config.compile_seconds +. seconds
+
+let measure t s =
+  let r = Evaluator.measure t.ev s in
+  (match r with
+  | `Seconds sec -> charge_measurement t sec
+  | `Timeout capped -> charge_measurement t capped);
+  r
+
+let current_speedup t =
+  match t.sched with
+  | None -> 1.0
+  | Some s ->
+      let base = Evaluator.base_seconds t.ev s.Sched_state.original in
+      let now = Evaluator.state_seconds t.ev s in
+      base /. now
+
+let schedule t = (state t).Sched_state.applied
+
+let measurement_seconds t = t.measurement_seconds
+
+let render t =
+  match t.sched with
+  | None -> "<no episode: call reset>"
+  | Some s ->
+      let base = Evaluator.base_seconds t.ev s.Sched_state.original in
+      let now = Evaluator.state_seconds t.ev s in
+      Format.asprintf
+        "@[<v>op       : %s (%s)@,step     : %d/%d@,schedule : %s@,time     : %.6f s (base %.6f s)@,speedup  : %.2fx@,flags    : parallelized=%b vectorized=%b@]"
+        s.Sched_state.original.Linalg.op_name
+        (Linalg.kind_name s.Sched_state.original)
+        t.steps t.cfg.Env_config.tau
+        (match s.Sched_state.applied with
+        | [] -> "<empty>"
+        | applied -> Schedule.to_string applied)
+        now base (base /. now) s.Sched_state.parallelized
+        s.Sched_state.vectorized
+
+let finish_result t s ~reward ~terminal ~timed_out ~noop ~invalid =
+  {
+    obs = Observation.extract t.cfg s;
+    reward;
+    terminal;
+    timed_out;
+    noop;
+    invalid;
+  }
+
+let step t (tr : Schedule.transformation option) =
+  let s = state t in
+  if t.steps >= t.cfg.Env_config.tau then
+    invalid_arg "Env.step: episode already over (tau steps)";
+  t.steps <- t.steps + 1;
+  let out_of_steps = t.steps >= t.cfg.Env_config.tau in
+  let immediate = t.cfg.Env_config.reward_mode = Env_config.Immediate in
+  let base = Evaluator.base_seconds t.ev s.Sched_state.original in
+  let conclude s' ~ended =
+    (* Measure when the reward mode demands it. *)
+    t.sched <- Some s';
+    if immediate then begin
+      match measure t s' with
+      | `Timeout _ ->
+          finish_result t s' ~reward:t.cfg.Env_config.timeout_penalty
+            ~terminal:true ~timed_out:true ~noop:false ~invalid:false
+      | `Seconds sec ->
+          let reward = log (t.prev_seconds /. sec) in
+          t.prev_seconds <- sec;
+          finish_result t s' ~reward ~terminal:ended ~timed_out:false
+            ~noop:false ~invalid:false
+    end
+    else if ended then begin
+      match measure t s' with
+      | `Timeout _ ->
+          finish_result t s' ~reward:t.cfg.Env_config.timeout_penalty
+            ~terminal:true ~timed_out:true ~noop:false ~invalid:false
+      | `Seconds sec ->
+          finish_result t s' ~reward:(log (base /. sec)) ~terminal:true
+            ~timed_out:false ~noop:false ~invalid:false
+    end
+    else
+      finish_result t s' ~reward:0.0 ~terminal:false ~timed_out:false
+        ~noop:false ~invalid:false
+  in
+  match tr with
+  | None ->
+      (* Explicit no-op: consumes a step; at the last step the schedule
+         so far is still measured under Final reward. *)
+      if out_of_steps then conclude s ~ended:true
+      else
+        finish_result t s ~reward:0.0 ~terminal:false ~timed_out:false
+          ~noop:true ~invalid:false
+  | Some tr -> (
+      match Sched_state.apply s tr with
+      | Error _ ->
+          (* Mirrors a failing compilation in the paper's pipeline. *)
+          finish_result t s ~reward:t.cfg.Env_config.timeout_penalty
+            ~terminal:true ~timed_out:false ~noop:false ~invalid:true
+      | Ok s' ->
+          let ended = Sched_state.is_done s' || out_of_steps in
+          conclude s' ~ended)
+
+let step_hierarchical t action =
+  let s = state t in
+  step t (Action_space.to_transformation t.cfg s action)

@@ -1,0 +1,63 @@
+(** The RL environment: Linalg op optimization as an episodic MDP.
+
+    An episode starts from an untransformed op ({!reset}); each {!step}
+    applies one transformation; the episode ends when the agent
+    vectorizes (the paper's implicit stop action), when the schedule
+    reaches tau steps, or when a measurement exceeds the adaptive
+    timeout. Rewards are log speedups (§3.3): with [Immediate] reward the
+    improvement of each step is measured and returned immediately; with
+    [Final] reward all steps return 0 and the terminal step returns the
+    log of the whole schedule's speedup. *)
+
+type t
+
+type step_result = {
+  obs : float array;
+  reward : float;
+  terminal : bool;
+  timed_out : bool;  (** measurement exceeded the adaptive timeout *)
+  noop : bool;  (** the action was an all-zero tiling (no effect) *)
+  invalid : bool;  (** the transformation was rejected by the IR layer *)
+}
+
+val create : ?evaluator:Evaluator.t -> Env_config.t -> t
+(** The evaluator defaults to one on [config.machine]. *)
+
+val config : t -> Env_config.t
+val evaluator : t -> Evaluator.t
+
+val reset : t -> Linalg.t -> float array
+(** Start an episode on an op; returns the initial observation. *)
+
+val state : t -> Sched_state.t
+(** Current schedule state (for inspection and masking). *)
+
+val masks : t -> Action_space.masks
+(** Masks for the hierarchical policy at the current state. *)
+
+val step_count : t -> int
+
+val step : t -> Schedule.transformation option -> step_result
+(** Apply one transformation ([None] is an explicit no-op that still
+    consumes a step). Invalid transformations (rejected by the transform
+    layer) consume a step and yield the timeout penalty, mirroring the
+    paper's treatment of failing compilations. *)
+
+val step_hierarchical : t -> Action_space.hierarchical -> step_result
+(** Convert a hierarchical action and step. *)
+
+val current_speedup : t -> float
+(** Speedup of the schedule built so far (1.0 right after reset). *)
+
+val schedule : t -> Schedule.t
+
+val measurement_seconds : t -> float
+(** Accumulated simulated compile+measure wall-clock spent in this
+    environment since creation — the paper's Figure 7 training-time
+    axis. Each measurement charges [config.compile_seconds] plus the
+    measured execution time. *)
+
+val render : t -> string
+(** Human-readable snapshot of the episode: op, schedule so far, step
+    count, current estimated time and speedup. For debugging and the
+    CLI. *)

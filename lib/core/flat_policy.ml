@@ -1,0 +1,86 @@
+type sample = { f_obs : float array; f_choice : int; f_mask : bool array }
+
+type t = {
+  menu : Action_space.simple_item array;
+  backbone : Layers.mlp;
+  head : Layers.mlp;
+  value_net : Layers.mlp;
+}
+
+let create ?(hidden = 512) ?(backbone_layers = 4) rng (cfg : Env_config.t)
+    ~n_loops =
+  let obs_dim = Env_config.obs_dim cfg in
+  let menu = Action_space.simple_menu cfg ~n_loops in
+  let k = Array.length menu in
+  {
+    menu;
+    backbone =
+      Layers.mlp rng
+        ~dims:(obs_dim :: List.init backbone_layers (fun _ -> hidden))
+        "flat_backbone";
+    head = Layers.mlp rng ~dims:[ hidden; hidden; k ] "flat_head";
+    value_net =
+      Layers.mlp rng
+        ~dims:(obs_dim :: List.init backbone_layers (fun _ -> hidden) @ [ 1 ])
+        "flat_value";
+  }
+
+let menu t = t.menu
+
+let params t =
+  Layers.mlp_params t.backbone
+  @ Layers.mlp_params t.head
+  @ Layers.mlp_params t.value_net
+
+let obs_tensor_of_rows rows =
+  let b = Array.length rows in
+  let d = Array.length rows.(0) in
+  Tensor.init [| b; d |] (fun i -> rows.(i / d).(i mod d))
+
+let forward tape t obs_tensor =
+  let obs = Autodiff.const tape obs_tensor in
+  let feat = Autodiff.relu tape (Layers.forward_mlp tape t.backbone obs) in
+  let logits = Layers.forward_mlp tape t.head feat in
+  let value = Layers.forward_mlp tape t.value_net obs in
+  (logits, value)
+
+let safe_row row =
+  if Array.exists (fun b -> b) row then row
+  else begin
+    let r = Array.copy row in
+    r.(0) <- true;
+    r
+  end
+
+let act rng t ~obs ~mask =
+  let tape = Autodiff.Tape.create () in
+  let logits, value = forward tape t (obs_tensor_of_rows [| obs |]) in
+  let lp =
+    Distributions.masked_log_probs tape logits ~mask:[| safe_row mask |]
+  in
+  let c = Distributions.sample rng (Autodiff.value lp) 0 in
+  (c, Tensor.get2 (Autodiff.value lp) 0 c, Tensor.get2 (Autodiff.value value) 0 0)
+
+let act_greedy t ~obs ~mask =
+  let tape = Autodiff.Tape.create () in
+  let logits, _ = forward tape t (obs_tensor_of_rows [| obs |]) in
+  let lp =
+    Distributions.masked_log_probs tape logits ~mask:[| safe_row mask |]
+  in
+  Distributions.argmax (Autodiff.value lp) 0
+
+let evaluate t tape (samples : sample array) =
+  let b = Array.length samples in
+  let obs = obs_tensor_of_rows (Array.map (fun s -> s.f_obs) samples) in
+  let logits, value = forward tape t obs in
+  let mask = Array.map (fun s -> safe_row s.f_mask) samples in
+  let lp = Distributions.masked_log_probs tape logits ~mask in
+  let log_prob =
+    Distributions.log_prob_of tape lp (Array.map (fun s -> s.f_choice) samples)
+  in
+  let entropy = Distributions.entropy tape lp in
+  let value = Autodiff.gather_cols tape value (Array.make b 0) in
+  { Ppo.log_prob; entropy; value }
+
+let ppo_policy t =
+  { Ppo.evaluate = (fun tape samples -> evaluate t tape samples); params = params t }

@@ -1,0 +1,33 @@
+(** Flat policy over the Simple action space (Figure 8 ablation).
+
+    One categorical head over a fixed menu of pre-combined
+    transformations — the constrained baseline the paper compares the
+    Hierarchical space against. Built for a fixed loop count, so it is
+    used on a single op (as in the paper's ablation on one Matmul). *)
+
+type sample = {
+  f_obs : float array;
+  f_choice : int;  (** menu index *)
+  f_mask : bool array;
+}
+
+type t
+
+val create :
+  ?hidden:int ->
+  ?backbone_layers:int ->
+  Util.Rng.t ->
+  Env_config.t ->
+  n_loops:int ->
+  t
+
+val menu : t -> Action_space.simple_item array
+val params : t -> Autodiff.Param.t list
+
+val act :
+  Util.Rng.t -> t -> obs:float array -> mask:bool array -> int * float * float
+(** (menu index, log-probability, value). *)
+
+val act_greedy : t -> obs:float array -> mask:bool array -> int
+
+val ppo_policy : t -> sample Ppo.policy

@@ -1,0 +1,144 @@
+type t = { cfg : Env_config.t; net : Layers.mlp }
+
+let create ?(hidden = 128) ?(layers = 2) rng (cfg : Env_config.t) =
+  let dims =
+    (Env_config.obs_dim cfg :: List.init layers (fun _ -> hidden)) @ [ 1 ]
+  in
+  { cfg; net = Layers.mlp rng ~dims "cost_model" }
+
+let predict t features =
+  let tape = Autodiff.Tape.create () in
+  let x =
+    Autodiff.const tape
+      (Tensor.of_array [| 1; Array.length features |] features)
+  in
+  let y = Layers.forward_mlp tape t.net x in
+  Tensor.get (Autodiff.value y) 0
+
+let predict_speedup t state = exp (predict t (Observation.extract t.cfg state))
+
+type example = { features : float array; log_speedup : float }
+
+(* One random legal episode on [op]: uniform choices over the masked
+   hierarchical action space. *)
+let random_state rng cfg op =
+  let state = ref (Sched_state.init op) in
+  let steps = 1 + Util.Rng.int rng cfg.Env_config.tau in
+  (try
+     for _ = 1 to steps do
+       if Sched_state.is_done !state then raise Exit;
+       let masks = Action_space.masks cfg !state in
+       let valid =
+         List.filter
+           (fun i -> masks.Action_space.t_mask.(i))
+           (List.init Env_config.n_transformations (fun i -> i))
+       in
+       let transform = Util.Rng.choice_list rng valid in
+       let pick_row row =
+         let options =
+           List.filter (fun j -> row.(j)) (List.init (Array.length row) (fun j -> j))
+         in
+         Util.Rng.choice_list rng options
+       in
+       let mask_rows =
+         if transform = Action_space.t_parallelize then masks.Action_space.par_mask
+         else masks.Action_space.tile_mask
+       in
+       let tile_choices =
+         Array.init cfg.Env_config.n_max (fun l -> pick_row mask_rows.(l))
+       in
+       let swaps =
+         List.filter
+           (fun j -> masks.Action_space.swap_mask.(j))
+           (List.init cfg.Env_config.n_max (fun j -> j))
+       in
+       let swap_choice = match swaps with [] -> 0 | l -> Util.Rng.choice_list rng l in
+       let action = { Action_space.transform; tile_choices; swap_choice } in
+       match Action_space.to_transformation cfg !state action with
+       | None -> ()
+       | Some tr -> (
+           match Sched_state.apply !state tr with
+           | Ok st -> state := st
+           | Error _ -> ())
+     done
+   with Exit -> ());
+  !state
+
+let collect ?(samples = 512) rng (cfg : Env_config.t) evaluator ~ops =
+  Array.init samples (fun _ ->
+      let op = Util.Rng.choice rng ops in
+      let state = random_state rng cfg op in
+      {
+        features = Observation.extract cfg state;
+        log_speedup = log (Float.max 1e-9 (Evaluator.speedup evaluator state));
+      })
+
+type fit_report = { initial_loss : float; final_loss : float; epochs_run : int }
+
+let mse_loss t tape (batch : example array) =
+  let b = Array.length batch in
+  let d = Array.length batch.(0).features in
+  let x =
+    Autodiff.const tape
+      (Tensor.init [| b; d |] (fun i -> batch.(i / d).features.(i mod d)))
+  in
+  let y = Layers.forward_mlp tape t.net x in
+  let pred = Autodiff.gather_cols tape y (Array.make b 0) in
+  let target =
+    Autodiff.const tape
+      (Tensor.init [| b |] (fun i -> batch.(i).log_speedup))
+  in
+  Autodiff.mean_all tape (Autodiff.square tape (Autodiff.sub tape pred target))
+
+let fit ?(epochs = 40) ?(batch_size = 64) ?(learning_rate = 1e-3) t examples =
+  if Array.length examples = 0 then
+    invalid_arg "Learned_cost.fit: empty dataset";
+  let params = Layers.mlp_params t.net in
+  let optimizer = Optim.adam ~lr:learning_rate params in
+  let rng = Util.Rng.create 12345 in
+  let indices = Array.init (Array.length examples) (fun i -> i) in
+  let epoch_loss () =
+    let tape = Autodiff.Tape.create () in
+    Tensor.get (Autodiff.value (mse_loss t tape examples)) 0
+  in
+  let initial_loss = epoch_loss () in
+  for _epoch = 1 to epochs do
+    Util.Rng.shuffle rng indices;
+    let pos = ref 0 in
+    while !pos < Array.length indices do
+      let size = min batch_size (Array.length indices - !pos) in
+      let batch = Array.init size (fun i -> examples.(indices.(!pos + i))) in
+      pos := !pos + size;
+      let tape = Autodiff.Tape.create () in
+      let loss = mse_loss t tape batch in
+      Optim.zero_grad optimizer;
+      Autodiff.backward tape loss;
+      ignore (Optim.clip_grad_norm optimizer 5.0);
+      Optim.step optimizer
+    done
+  done;
+  { initial_loss; final_loss = epoch_loss (); epochs_run = epochs }
+
+let rank_correlation t examples =
+  let n = Array.length examples in
+  if n < 2 then invalid_arg "Learned_cost.rank_correlation: need >= 2 examples";
+  let ranks values =
+    let idx = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare values.(a) values.(b)) idx;
+    let r = Array.make n 0.0 in
+    Array.iteri (fun rank i -> r.(i) <- float_of_int rank) idx;
+    r
+  in
+  let preds = Array.map (fun e -> predict t e.features) examples in
+  let targets = Array.map (fun e -> e.log_speedup) examples in
+  let rp = ranks preds and rt = ranks targets in
+  let mean r = Array.fold_left ( +. ) 0.0 r /. float_of_int n in
+  let mp = mean rp and mt = mean rt in
+  let cov = ref 0.0 and vp = ref 0.0 and vt = ref 0.0 in
+  for i = 0 to n - 1 do
+    let dp = rp.(i) -. mp and dt = rt.(i) -. mt in
+    cov := !cov +. (dp *. dt);
+    vp := !vp +. (dp *. dp);
+    vt := !vt +. (dt *. dt)
+  done;
+  if !vp = 0.0 || !vt = 0.0 then 0.0 else !cov /. sqrt (!vp *. !vt)

@@ -1,0 +1,48 @@
+(** A learned cost model (paper §6.1 future work).
+
+    The paper suggests replacing repeated executions with a deep-learning
+    cost model. This module implements that extension: an MLP regressor
+    from the environment's observation vector (which already encodes the
+    op's structure and the applied schedule through the history tensor)
+    to the log speedup, trained on (state, measured log-speedup) pairs
+    collected with random legal schedules. It can then stand in for the
+    evaluator during reward computation. *)
+
+type t
+
+val create : ?hidden:int -> ?layers:int -> Util.Rng.t -> Env_config.t -> t
+(** Defaults: 2 hidden layers of 128. *)
+
+val predict : t -> float array -> float
+(** Predicted log speedup for an observation vector. *)
+
+val predict_speedup : t -> Sched_state.t -> float
+(** Convenience: extract the observation and exponentiate. *)
+
+type example = { features : float array; log_speedup : float }
+
+val collect :
+  ?samples:int ->
+  Util.Rng.t ->
+  Env_config.t ->
+  Evaluator.t ->
+  ops:Linalg.t array ->
+  example array
+(** [collect rng cfg ev ~ops] measures random legal schedules (uniform
+    masked actions, 1..tau steps) on randomly drawn ops — the "multiple
+    execution runs" the paper wants to amortize. Default 512 samples. *)
+
+type fit_report = { initial_loss : float; final_loss : float; epochs_run : int }
+
+val fit :
+  ?epochs:int ->
+  ?batch_size:int ->
+  ?learning_rate:float ->
+  t ->
+  example array ->
+  fit_report
+(** MSE regression with Adam (defaults: 40 epochs, batch 64, lr 1e-3). *)
+
+val rank_correlation : t -> example array -> float
+(** Spearman rank correlation between predictions and targets on a
+    held-out set — the metric that matters for guiding search. *)

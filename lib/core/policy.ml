@@ -1,0 +1,238 @@
+type sample = {
+  s_obs : float array;
+  s_action : Action_space.hierarchical;
+  s_masks : Action_space.masks;
+}
+
+type t = {
+  cfg : Env_config.t;
+  backbone : Layers.mlp;
+  t_head : Layers.mlp;
+  tile_head : Layers.mlp;
+  par_head : Layers.mlp;
+  swap_head : Layers.mlp;
+  value_net : Layers.mlp;
+}
+
+let create ?(hidden = 512) ?(backbone_layers = 4) rng (cfg : Env_config.t) =
+  let obs_dim = Env_config.obs_dim cfg in
+  let n = cfg.Env_config.n_max in
+  let m = Env_config.n_tile_choices cfg in
+  let backbone_dims =
+    obs_dim :: List.init backbone_layers (fun _ -> hidden)
+  in
+  {
+    cfg;
+    backbone = Layers.mlp rng ~dims:backbone_dims "backbone";
+    t_head =
+      Layers.mlp rng ~dims:[ hidden; hidden; Env_config.n_transformations ]
+        "transform_head";
+    tile_head = Layers.mlp rng ~dims:[ hidden; hidden; n * m ] "tiling_head";
+    par_head = Layers.mlp rng ~dims:[ hidden; hidden; n * m ] "parallel_head";
+    swap_head = Layers.mlp rng ~dims:[ hidden; hidden; n ] "interchange_head";
+    value_net =
+      Layers.mlp rng
+        ~dims:(obs_dim :: List.init backbone_layers (fun _ -> hidden) @ [ 1 ])
+        "value_net";
+  }
+
+let params t =
+  Layers.mlp_params t.backbone
+  @ Layers.mlp_params t.t_head
+  @ Layers.mlp_params t.tile_head
+  @ Layers.mlp_params t.par_head
+  @ Layers.mlp_params t.swap_head
+  @ Layers.mlp_params t.value_net
+
+let param_count t = Layers.param_count (params t)
+
+type heads = {
+  h_t : Autodiff.node;  (* [B; 5] *)
+  h_tile : Autodiff.node;  (* [B; n*m] *)
+  h_par : Autodiff.node;
+  h_swap : Autodiff.node;  (* [B; n] *)
+  h_value : Autodiff.node;  (* [B; 1] *)
+}
+
+let forward tape t obs_tensor =
+  let obs = Autodiff.const tape obs_tensor in
+  let feat = Autodiff.relu tape (Layers.forward_mlp tape t.backbone obs) in
+  {
+    h_t = Layers.forward_mlp tape t.t_head feat;
+    h_tile = Layers.forward_mlp tape t.tile_head feat;
+    h_par = Layers.forward_mlp tape t.par_head feat;
+    h_swap = Layers.forward_mlp tape t.swap_head feat;
+    h_value = Layers.forward_mlp tape t.value_net obs;
+  }
+
+(* A mask row that is safe to feed to log-softmax even when the branch is
+   not taken: force index 0 on when everything is masked. *)
+let safe_row row =
+  if Array.exists (fun b -> b) row then row
+  else begin
+    let r = Array.copy row in
+    r.(0) <- true;
+    r
+  end
+
+let obs_tensor_of_rows rows =
+  let b = Array.length rows in
+  let d = Array.length rows.(0) in
+  Tensor.init [| b; d |] (fun i -> rows.(i / d).(i mod d))
+
+(* Per-loop log-prob/entropy of a tiling-style head. *)
+let tiling_branch tape (cfg : Env_config.t) head_node ~tile_masks ~choices =
+  let n = cfg.Env_config.n_max in
+  let m = Env_config.n_tile_choices cfg in
+  let b = Array.length choices in
+  let total_lp = ref None in
+  let total_ent = ref None in
+  for l = 0 to n - 1 do
+    let logits = Autodiff.slice_cols tape head_node ~lo:(l * m) ~hi:((l + 1) * m) in
+    let mask = Array.init b (fun i -> safe_row tile_masks.(i).(l)) in
+    let lp = Distributions.masked_log_probs tape logits ~mask in
+    let acts = Array.init b (fun i -> choices.(i).(l)) in
+    let chosen = Distributions.log_prob_of tape lp acts in
+    let ent = Distributions.entropy tape lp in
+    total_lp :=
+      Some
+        (match !total_lp with
+        | None -> chosen
+        | Some acc -> Autodiff.add tape acc chosen);
+    total_ent :=
+      Some
+        (match !total_ent with
+        | None -> ent
+        | Some acc -> Autodiff.add tape acc ent)
+  done;
+  (Option.get !total_lp, Option.get !total_ent)
+
+let evaluate t tape (samples : sample array) =
+  let cfg = t.cfg in
+  let b = Array.length samples in
+  let obs = obs_tensor_of_rows (Array.map (fun s -> s.s_obs) samples) in
+  let heads = forward tape t obs in
+  (* transformation head *)
+  let t_mask = Array.map (fun s -> safe_row s.s_masks.Action_space.t_mask) samples in
+  let t_lp = Distributions.masked_log_probs tape heads.h_t ~mask:t_mask in
+  let t_actions = Array.map (fun s -> s.s_action.Action_space.transform) samples in
+  let logp_t = Distributions.log_prob_of tape t_lp t_actions in
+  let ent_t = Distributions.entropy tape t_lp in
+  (* branch heads *)
+  let tile_masks = Array.map (fun s -> s.s_masks.Action_space.tile_mask) samples in
+  let par_masks = Array.map (fun s -> s.s_masks.Action_space.par_mask) samples in
+  let choices = Array.map (fun s -> s.s_action.Action_space.tile_choices) samples in
+  let tile_lp, tile_ent =
+    tiling_branch tape cfg heads.h_tile ~tile_masks ~choices
+  in
+  let par_lp, par_ent =
+    tiling_branch tape cfg heads.h_par ~tile_masks:par_masks ~choices
+  in
+  let swap_mask = Array.map (fun s -> safe_row s.s_masks.Action_space.swap_mask) samples in
+  let swap_lp_all = Distributions.masked_log_probs tape heads.h_swap ~mask:swap_mask in
+  let swap_actions =
+    Array.map
+      (fun s ->
+        let c = s.s_action.Action_space.swap_choice in
+        if c >= 0 && c < cfg.Env_config.n_max then c else 0)
+      samples
+  in
+  let swap_lp = Distributions.log_prob_of tape swap_lp_all swap_actions in
+  let swap_ent = Distributions.entropy tape swap_lp_all in
+  (* combine through branch indicators *)
+  let indicator k =
+    Autodiff.const tape
+      (Tensor.init [| b |] (fun i ->
+           if samples.(i).s_action.Action_space.transform = k then 1.0 else 0.0))
+  in
+  let ind_tile = indicator Action_space.t_tile in
+  let ind_par = indicator Action_space.t_parallelize in
+  let ind_swap = indicator Action_space.t_interchange in
+  let combine base tile par swap =
+    let x = Autodiff.add tape base (Autodiff.mul tape ind_tile tile) in
+    let x = Autodiff.add tape x (Autodiff.mul tape ind_par par) in
+    Autodiff.add tape x (Autodiff.mul tape ind_swap swap)
+  in
+  let log_prob = combine logp_t tile_lp par_lp swap_lp in
+  let entropy = combine ent_t tile_ent par_ent swap_ent in
+  let value = Autodiff.gather_cols tape heads.h_value (Array.make b 0) in
+  { Ppo.log_prob; entropy; value }
+
+let ppo_policy t =
+  { Ppo.evaluate = (fun tape samples -> evaluate t tape samples); params = params t }
+
+let save t path = Serialize.save_params path (params t)
+let load t path = Serialize.load_params path (params t)
+
+(* -- sampling -- *)
+
+let single_row_lp tape node ~mask =
+  Distributions.masked_log_probs tape node ~mask:[| safe_row mask |]
+
+let act ?(temperature = 1.0) rng t ~obs ~masks =
+  let cfg = t.cfg in
+  let n = cfg.Env_config.n_max in
+  let m = Env_config.n_tile_choices cfg in
+  let draw lp =
+    if temperature = 1.0 then Distributions.sample rng lp 0
+    else Distributions.sample_tempered rng lp 0 ~temperature
+  in
+  let tape = Autodiff.Tape.create () in
+  let heads = forward tape t (obs_tensor_of_rows [| obs |]) in
+  let t_lp = single_row_lp tape heads.h_t ~mask:masks.Action_space.t_mask in
+  let ti = draw (Autodiff.value t_lp) in
+  let logp = ref (Tensor.get2 (Autodiff.value t_lp) 0 ti) in
+  let tile_choices = Array.make n 0 in
+  let swap_choice = ref 0 in
+  if ti = Action_space.t_tile || ti = Action_space.t_parallelize then begin
+    let head = if ti = Action_space.t_tile then heads.h_tile else heads.h_par in
+    let mask_rows =
+      if ti = Action_space.t_tile then masks.Action_space.tile_mask
+      else masks.Action_space.par_mask
+    in
+    for l = 0 to n - 1 do
+      let logits = Autodiff.slice_cols tape head ~lo:(l * m) ~hi:((l + 1) * m) in
+      let lp = single_row_lp tape logits ~mask:mask_rows.(l) in
+      let c = draw (Autodiff.value lp) in
+      tile_choices.(l) <- c;
+      logp := !logp +. Tensor.get2 (Autodiff.value lp) 0 c
+    done
+  end
+  else if ti = Action_space.t_interchange then begin
+    let lp = single_row_lp tape heads.h_swap ~mask:masks.Action_space.swap_mask in
+    let c = draw (Autodiff.value lp) in
+    swap_choice := c;
+    logp := !logp +. Tensor.get2 (Autodiff.value lp) 0 c
+  end;
+  let value = Tensor.get2 (Autodiff.value heads.h_value) 0 0 in
+  ( { Action_space.transform = ti; tile_choices; swap_choice = !swap_choice },
+    !logp,
+    value )
+
+let act_greedy t ~obs ~masks =
+  let cfg = t.cfg in
+  let n = cfg.Env_config.n_max in
+  let m = Env_config.n_tile_choices cfg in
+  let tape = Autodiff.Tape.create () in
+  let heads = forward tape t (obs_tensor_of_rows [| obs |]) in
+  let t_lp = single_row_lp tape heads.h_t ~mask:masks.Action_space.t_mask in
+  let ti = Distributions.argmax (Autodiff.value t_lp) 0 in
+  let tile_choices = Array.make n 0 in
+  let swap_choice = ref 0 in
+  if ti = Action_space.t_tile || ti = Action_space.t_parallelize then begin
+    let head = if ti = Action_space.t_tile then heads.h_tile else heads.h_par in
+    let mask_rows =
+      if ti = Action_space.t_tile then masks.Action_space.tile_mask
+      else masks.Action_space.par_mask
+    in
+    for l = 0 to n - 1 do
+      let logits = Autodiff.slice_cols tape head ~lo:(l * m) ~hi:((l + 1) * m) in
+      let lp = single_row_lp tape logits ~mask:mask_rows.(l) in
+      tile_choices.(l) <- Distributions.argmax (Autodiff.value lp) 0
+    done
+  end
+  else if ti = Action_space.t_interchange then begin
+    let lp = single_row_lp tape heads.h_swap ~mask:masks.Action_space.swap_mask in
+    swap_choice := Distributions.argmax (Autodiff.value lp) 0
+  end;
+  { Action_space.transform = ti; tile_choices; swap_choice = !swap_choice }

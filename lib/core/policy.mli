@@ -1,0 +1,56 @@
+(** The multi-action policy network (paper §4.2, Figures 3 and 4).
+
+    A shared backbone (four dense layers, ReLU) feeds per-transformation
+    sub-networks: a transformation head over the five choices, a tiling
+    head and a parallelization head of shape N x M (a tile-size
+    distribution per loop), and an interchange head over the N adjacent
+    swaps. A separate value network (four dense layers) estimates
+    V(s). Joint log-probabilities are the sum of the transformation
+    log-probability and the chosen branch's parameter log-probabilities;
+    entropies combine the same way. *)
+
+type sample = {
+  s_obs : float array;
+  s_action : Action_space.hierarchical;
+  s_masks : Action_space.masks;
+}
+(** What the PPO update needs to re-evaluate a stored step. *)
+
+type t
+
+val create :
+  ?hidden:int -> ?backbone_layers:int -> Util.Rng.t -> Env_config.t -> t
+(** [hidden] defaults to 512 and [backbone_layers] to 4 (the paper's
+    sizes); benches pass smaller values to fit the iteration budget. *)
+
+val params : t -> Autodiff.Param.t list
+val param_count : t -> int
+
+val act :
+  ?temperature:float ->
+  Util.Rng.t ->
+  t ->
+  obs:float array ->
+  masks:Action_space.masks ->
+  Action_space.hierarchical * float * float
+(** Sample an action; returns (action, joint log-probability, value
+    estimate). [temperature] (default 1.0) flattens the sampling
+    distribution for inference-time exploration; the returned
+    log-probability is always the untempered policy's, so training must
+    use the default. *)
+
+val act_greedy :
+  t ->
+  obs:float array ->
+  masks:Action_space.masks ->
+  Action_space.hierarchical
+(** Deterministic (argmax) action for evaluation-time inference. *)
+
+val ppo_policy : t -> sample Ppo.policy
+(** The {!Ppo} plug: batch re-evaluation of stored samples. *)
+
+val save : t -> string -> unit
+(** Persist all weights (see {!Serialize}). *)
+
+val load : t -> string -> (unit, string) result
+(** Restore weights into a policy of the same architecture. *)

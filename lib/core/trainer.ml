@@ -1,0 +1,158 @@
+type config = { ppo : Ppo.config; iterations : int; seed : int }
+
+let default_config = { ppo = Ppo.default_config; iterations = 50; seed = 0 }
+
+type iteration_stats = {
+  iteration : int;
+  mean_episode_return : float;
+  mean_final_speedup : float;
+  best_speedup : float;
+  ppo_stats : Ppo.stats;
+  measurement_seconds : float;
+  schedules_explored : int;
+}
+
+(* Generic collection/update loop: [collect_episode] plays one episode
+   and returns its transitions plus (return, final speedup). *)
+let run_loop ?callback config env ~collect_episode ~update =
+  let rng = Util.Rng.create (config.seed + 77) in
+  let stats_acc = ref [] in
+  let best = ref 0.0 in
+  for iteration = 1 to config.iterations do
+    let transitions = ref [] in
+    let returns = ref [] in
+    let speedups = ref [] in
+    let n_steps = ref 0 in
+    while !n_steps < config.ppo.Ppo.batch_size do
+      let episode, ep_return, final_speedup = collect_episode rng in
+      transitions := episode :: !transitions;
+      returns := ep_return :: !returns;
+      speedups := Float.max 1e-9 final_speedup :: !speedups;
+      n_steps := !n_steps + Array.length episode
+    done;
+    let batch = Array.concat (List.rev !transitions) in
+    let ppo_stats = update batch ~rng in
+    let mean_final_speedup = Util.Stats.geomean !speedups in
+    best := Float.max !best (List.fold_left Float.max 0.0 !speedups);
+    let st =
+      {
+        iteration;
+        mean_episode_return = Util.Stats.mean !returns;
+        mean_final_speedup;
+        best_speedup = !best;
+        ppo_stats;
+        measurement_seconds = Env.measurement_seconds env;
+        schedules_explored = Evaluator.explored (Env.evaluator env);
+      }
+    in
+    (match callback with Some f -> f st | None -> ());
+    stats_acc := st :: !stats_acc
+  done;
+  List.rev !stats_acc
+
+let train ?callback config env policy ~ops =
+  if Array.length ops = 0 then invalid_arg "Trainer.train: no training ops";
+  let optimizer =
+    Optim.adam ~lr:config.ppo.Ppo.learning_rate (Policy.params policy)
+  in
+  let ppo_policy = Policy.ppo_policy policy in
+  let collect_episode rng =
+    let op = Util.Rng.choice rng ops in
+    let obs = ref (Env.reset env op) in
+    let steps = ref [] in
+    let ep_return = ref 0.0 in
+    let continue = ref true in
+    while !continue do
+      let masks = Env.masks env in
+      let action, log_prob, value = Policy.act rng policy ~obs:!obs ~masks in
+      let result = Env.step_hierarchical env action in
+      ep_return := !ep_return +. result.Env.reward;
+      steps :=
+        {
+          Ppo.sample =
+            { Policy.s_obs = !obs; s_action = action; s_masks = masks };
+          reward = result.Env.reward;
+          value;
+          log_prob;
+          terminal = result.Env.terminal;
+        }
+        :: !steps;
+      obs := result.Env.obs;
+      if result.Env.terminal then continue := false
+    done;
+    (Array.of_list (List.rev !steps), !ep_return, Env.current_speedup env)
+  in
+  let update batch ~rng = Ppo.update config.ppo ppo_policy optimizer batch ~rng in
+  run_loop ?callback config env ~collect_episode ~update
+
+let train_flat ?callback config env policy ~ops =
+  if Array.length ops = 0 then invalid_arg "Trainer.train_flat: no training ops";
+  let optimizer =
+    Optim.adam ~lr:config.ppo.Ppo.learning_rate (Flat_policy.params policy)
+  in
+  let ppo_policy = Flat_policy.ppo_policy policy in
+  let menu = Flat_policy.menu policy in
+  let collect_episode rng =
+    let op = Util.Rng.choice rng ops in
+    let obs = ref (Env.reset env op) in
+    let steps = ref [] in
+    let ep_return = ref 0.0 in
+    let continue = ref true in
+    while !continue do
+      let cfg = Env.config env in
+      let mask = Action_space.simple_mask cfg (Env.state env) menu in
+      let choice, log_prob, value = Flat_policy.act rng policy ~obs:!obs ~mask in
+      let tr =
+        Action_space.legalize (Env.state env) menu.(choice).Action_space.transformation
+      in
+      let result = Env.step env tr in
+      ep_return := !ep_return +. result.Env.reward;
+      steps :=
+        {
+          Ppo.sample = { Flat_policy.f_obs = !obs; f_choice = choice; f_mask = mask };
+          reward = result.Env.reward;
+          value;
+          log_prob;
+          terminal = result.Env.terminal;
+        }
+        :: !steps;
+      obs := result.Env.obs;
+      if result.Env.terminal then continue := false
+    done;
+    (Array.of_list (List.rev !steps), !ep_return, Env.current_speedup env)
+  in
+  let update batch ~rng = Ppo.update config.ppo ppo_policy optimizer batch ~rng in
+  run_loop ?callback config env ~collect_episode ~update
+
+let greedy_rollout env policy op =
+  let obs = ref (Env.reset env op) in
+  let continue = ref true in
+  while !continue do
+    let masks = Env.masks env in
+    let action = Policy.act_greedy policy ~obs:!obs ~masks in
+    let result = Env.step_hierarchical env action in
+    obs := result.Env.obs;
+    if result.Env.terminal then continue := false
+  done;
+  (Env.schedule env, Env.current_speedup env)
+
+let sampled_best ?(temperature = 1.5) rng env policy op ~trials =
+  let best_sched = ref [] in
+  let best_speedup = ref 0.0 in
+  for _ = 1 to trials do
+    let obs = ref (Env.reset env op) in
+    let continue = ref true in
+    while !continue do
+      let masks = Env.masks env in
+      let action, _, _ = Policy.act ~temperature rng policy ~obs:!obs ~masks in
+      let result = Env.step_hierarchical env action in
+      obs := result.Env.obs;
+      if result.Env.terminal then continue := false
+    done;
+    let sp = Env.current_speedup env in
+    if sp > !best_speedup then begin
+      best_speedup := sp;
+      best_sched := Env.schedule env
+    end
+  done;
+  (!best_sched, !best_speedup)

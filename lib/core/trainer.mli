@@ -1,0 +1,61 @@
+(** PPO training loops over the environment.
+
+    Handles rollout collection across a pool of training ops, the PPO
+    update, and evaluation-time greedy inference, for both the
+    hierarchical and the flat (ablation) policies. *)
+
+type config = {
+  ppo : Ppo.config;
+  iterations : int;  (** batch-collection + update rounds (paper: 1000) *)
+  seed : int;
+}
+
+val default_config : config
+(** Paper hyperparameters with a modest iteration count; benches override
+    [iterations]. *)
+
+type iteration_stats = {
+  iteration : int;
+  mean_episode_return : float;
+  mean_final_speedup : float;  (** geomean of episode-end speedups *)
+  best_speedup : float;  (** best speedup seen so far across training *)
+  ppo_stats : Ppo.stats;
+  measurement_seconds : float;  (** cumulative simulated compile+run time *)
+  schedules_explored : int;  (** cumulative evaluator measurements *)
+}
+
+val train :
+  ?callback:(iteration_stats -> unit) ->
+  config ->
+  Env.t ->
+  Policy.t ->
+  ops:Linalg.t array ->
+  iteration_stats list
+(** Train the hierarchical policy; each episode samples an op uniformly
+    from [ops]. Returns per-iteration statistics in order. *)
+
+val train_flat :
+  ?callback:(iteration_stats -> unit) ->
+  config ->
+  Env.t ->
+  Flat_policy.t ->
+  ops:Linalg.t array ->
+  iteration_stats list
+(** Same loop for the flat/simple action-space policy. All [ops] must
+    have the loop count the policy was built for. *)
+
+val greedy_rollout : Env.t -> Policy.t -> Linalg.t -> Schedule.t * float
+(** Run one greedy episode; returns the schedule and its speedup. *)
+
+val sampled_best :
+  ?temperature:float ->
+  Util.Rng.t ->
+  Env.t ->
+  Policy.t ->
+  Linalg.t ->
+  trials:int ->
+  Schedule.t * float
+(** Sample [trials] stochastic episodes and keep the best schedule —
+    the inference mode used for the Figure 6 exploration comparison.
+    [temperature] (default 1.5) flattens the policy so a converged
+    (low-entropy) agent still proposes diverse candidates. *)

@@ -1,0 +1,43 @@
+(** Benchmark and training-set generation (paper §5.1.1, Table 2).
+
+    The paper scraped 121 models from TensorFlow Hub and Hugging Face and
+    kept the most frequent operations with their input shapes. We stand
+    in for the scrape with seeded sampling from shape menus typical of
+    vision backbones and transformer blocks, reproducing the exact
+    Table 2 counts: 1088 training ops and 67 validation ops across
+    matmul, conv2d, maxpool, add and relu. *)
+
+type counts = {
+  c_matmul : int;
+  c_conv2d : int;
+  c_maxpool : int;
+  c_add : int;
+  c_relu : int;
+}
+
+val table2_train : counts
+(** matmul 175, conv2d 232, maxpool 200, add 248, relu 233. *)
+
+val table2_validation : counts
+(** matmul 15, conv2d 18, maxpool 10, add 10, relu 14. *)
+
+val total : counts -> int
+
+type split = { train : Linalg.t array; validation : Linalg.t array }
+
+val generate :
+  ?train_counts:counts -> ?validation_counts:counts -> seed:int -> unit -> split
+(** Deterministic in [seed]; op names are unique within the split.
+    Defaults to the Table 2 counts. *)
+
+val random_op : Util.Rng.t -> string -> Linalg.t
+(** [random_op rng kind] draws one op of the given kind. The Table 2
+    kinds are "matmul", "conv2d", "maxpool", "add" and "relu"; beyond
+    the paper, "batch_matmul", "conv2d_nchw", "dwconv", "avgpool",
+    "mul", "sub", "div", "exp", "log" and "bias_add" are also
+    supported. Raises
+    [Invalid_argument] on an unknown kind. *)
+
+val kind_counts : Linalg.t array -> (string * int) list
+(** Histogram by {!Linalg.kind_name}, sorted by name (for the Table 2
+    bench). *)

@@ -1,0 +1,193 @@
+let examples =
+  [
+    "matmul:1024x1024x1024";
+    "conv2d:56x56x64,k3,f128,s1";
+    "maxpool:112x112x64,k2,s2";
+    "add:1024x1024";
+    "relu:2048x1024";
+    "batch_matmul:8x128x128x64";
+    "dwconv:56x56x64,k3,s1";
+    "avgpool:56x56x128,k2,s2";
+    "mul:1024x1024";
+    "exp:512x512";
+    "bias_add:1024x512";
+  ]
+
+let parse_dims s =
+  let parts = String.split_on_char 'x' s in
+  try
+    let dims = List.map int_of_string parts in
+    if List.exists (fun d -> d <= 0) dims then Error "dimensions must be positive"
+    else Ok (Array.of_list dims)
+  with Failure _ -> Error (Printf.sprintf "bad dimension list %S" s)
+
+let find_param params prefix =
+  let matching =
+    List.filter_map
+      (fun p ->
+        let n = String.length prefix in
+        if String.length p > n && String.sub p 0 n = prefix then
+          int_of_string_opt (String.sub p n (String.length p - n))
+        else None)
+      params
+  in
+  match matching with [ v ] -> Some v | _ -> None
+
+let parse spec =
+  match String.index_opt spec ':' with
+  | None -> Error (Printf.sprintf "expected kind:args, got %S" spec)
+  | Some i -> (
+      let kind = String.sub spec 0 i in
+      let rest = String.sub spec (i + 1) (String.length spec - i - 1) in
+      match kind with
+      | "matmul" -> (
+          match parse_dims rest with
+          | Ok [| m; n; k |] -> Ok (Linalg.matmul ~m ~n ~k ())
+          | Ok _ -> Error "matmul needs MxNxK"
+          | Error _ as e -> e)
+      | "batch_matmul" -> (
+          match parse_dims rest with
+          | Ok [| b; m; n; k |] -> Ok (Linalg.batch_matmul ~b ~m ~n ~k ())
+          | Ok _ -> Error "batch_matmul needs BxMxNxK"
+          | Error _ as e -> e)
+      | "add" | "relu" | "mul" | "sub" | "div" | "exp" | "log" | "bias_add" -> (
+          match parse_dims rest with
+          | Ok dims when Array.length dims >= 1 && Array.length dims <= 4 -> (
+              match kind with
+              | "add" -> Ok (Linalg.add dims)
+              | "relu" -> Ok (Linalg.relu dims)
+              | "mul" -> Ok (Linalg.binary Linalg.Mul_k dims)
+              | "sub" -> Ok (Linalg.binary Linalg.Sub_k dims)
+              | "div" -> Ok (Linalg.binary Linalg.Div_k dims)
+              | "exp" -> Ok (Linalg.unary Linalg.Exp_k dims)
+              | "log" -> Ok (Linalg.unary Linalg.Log_k dims)
+              | "bias_add" ->
+                  if Array.length dims >= 2 then Ok (Linalg.bias_add dims)
+                  else Error "bias_add needs rank >= 2"
+              | _ -> Error "unreachable elementwise kind")
+          | Ok _ -> Error "elementwise ops take 1-4 dims"
+          | Error _ as e -> e)
+      | "conv2d" | "conv2d_nchw" | "dwconv" | "maxpool" | "avgpool" -> (
+          match String.split_on_char ',' rest with
+          | dims_s :: params -> (
+              match parse_dims dims_s with
+              | Error _ as e -> e
+              | Ok [| h; w; c |] -> (
+                  let k = find_param params "k" in
+                  let s = find_param params "s" in
+                  let b = Option.value ~default:1 (find_param params "b") in
+                  match (kind, k, s, find_param params "f") with
+                  | ("conv2d" | "conv2d_nchw"), Some k, Some s, Some f -> (
+                      let params =
+                        {
+                          Linalg.batch = b;
+                          in_h = h;
+                          in_w = w;
+                          channels = c;
+                          kernel_h = k;
+                          kernel_w = k;
+                          filters = f;
+                          stride = s;
+                        }
+                      in
+                      try
+                        Ok
+                          (if kind = "conv2d" then Linalg.conv2d params
+                           else Linalg.conv2d_nchw params)
+                      with Invalid_argument m -> Error m)
+                  | ("conv2d" | "conv2d_nchw"), _, _, _ ->
+                      Error "conv2d needs ,kK,fF,sS"
+                  | "dwconv", Some k, Some s, _ -> (
+                      try
+                        Ok
+                          (Linalg.depthwise_conv2d
+                             {
+                               Linalg.batch = b;
+                               in_h = h;
+                               in_w = w;
+                               channels = c;
+                               kernel_h = k;
+                               kernel_w = k;
+                               filters = 1;
+                               stride = s;
+                             })
+                      with Invalid_argument m -> Error m)
+                  | "dwconv", _, _, _ -> Error "dwconv needs ,kK,sS"
+                  | ("maxpool" | "avgpool"), Some k, Some s, _ -> (
+                      let params =
+                        {
+                          Linalg.p_batch = b;
+                          p_in_h = h;
+                          p_in_w = w;
+                          p_channels = c;
+                          p_kernel = k;
+                          p_stride = s;
+                        }
+                      in
+                      try
+                        Ok
+                          (if kind = "maxpool" then Linalg.maxpool params
+                           else Linalg.avgpool params)
+                      with Invalid_argument m -> Error m)
+                  | ("maxpool" | "avgpool"), _, _, _ ->
+                      Error "pooling needs ,kK,sS"
+                  | _ -> Error "unreachable kind")
+              | Ok _ -> Error (kind ^ " needs HxWxC dims"))
+          | [] -> Error "missing arguments")
+      | k -> Error (Printf.sprintf "unknown op kind %S" k))
+
+let to_spec (op : Linalg.t) =
+  let dims_str dims =
+    String.concat "x" (Array.to_list (Array.map string_of_int dims))
+  in
+  match op.Linalg.kind with
+  | Linalg.Matmul { m; n; k } -> Some (Printf.sprintf "matmul:%dx%dx%d" m n k)
+  | Linalg.Conv2d p ->
+      Some
+        (Printf.sprintf "conv2d:%dx%dx%d,k%d,f%d,s%d%s" p.Linalg.in_h p.Linalg.in_w
+           p.Linalg.channels p.Linalg.kernel_h p.Linalg.filters p.Linalg.stride
+           (if p.Linalg.batch = 1 then "" else Printf.sprintf ",b%d" p.Linalg.batch))
+  | Linalg.Maxpool p ->
+      Some
+        (Printf.sprintf "maxpool:%dx%dx%d,k%d,s%d%s" p.Linalg.p_in_h p.Linalg.p_in_w
+           p.Linalg.p_channels p.Linalg.p_kernel p.Linalg.p_stride
+           (if p.Linalg.p_batch = 1 then "" else Printf.sprintf ",b%d" p.Linalg.p_batch))
+  | Linalg.Add_op dims -> Some (Printf.sprintf "add:%s" (dims_str dims))
+  | Linalg.Relu_op dims -> Some (Printf.sprintf "relu:%s" (dims_str dims))
+  | Linalg.Conv2d_nchw p ->
+      Some
+        (Printf.sprintf "conv2d_nchw:%dx%dx%d,k%d,f%d,s%d%s" p.Linalg.in_h
+           p.Linalg.in_w p.Linalg.channels p.Linalg.kernel_h p.Linalg.filters
+           p.Linalg.stride
+           (if p.Linalg.batch = 1 then "" else Printf.sprintf ",b%d" p.Linalg.batch))
+  | Linalg.Batch_matmul { bb; m; n; k } ->
+      Some (Printf.sprintf "batch_matmul:%dx%dx%dx%d" bb m n k)
+  | Linalg.Depthwise_conv2d p ->
+      Some
+        (Printf.sprintf "dwconv:%dx%dx%d,k%d,s%d%s" p.Linalg.in_h p.Linalg.in_w
+           p.Linalg.channels p.Linalg.kernel_h p.Linalg.stride
+           (if p.Linalg.batch = 1 then "" else Printf.sprintf ",b%d" p.Linalg.batch))
+  | Linalg.Avgpool p ->
+      Some
+        (Printf.sprintf "avgpool:%dx%dx%d,k%d,s%d%s" p.Linalg.p_in_h p.Linalg.p_in_w
+           p.Linalg.p_channels p.Linalg.p_kernel p.Linalg.p_stride
+           (if p.Linalg.p_batch = 1 then "" else Printf.sprintf ",b%d" p.Linalg.p_batch))
+  | Linalg.Unary_op (k, dims) ->
+      let tag =
+        match k with
+        | Linalg.Exp_k -> "exp"
+        | Linalg.Log_k -> "log"
+        | Linalg.Relu_k -> "relu"
+      in
+      Some (Printf.sprintf "%s:%s" tag (dims_str dims))
+  | Linalg.Binary_op (k, dims) ->
+      let tag =
+        match k with
+        | Linalg.Add_k -> "add"
+        | Linalg.Sub_k -> "sub"
+        | Linalg.Mul_k -> "mul"
+        | Linalg.Div_k -> "div"
+      in
+      Some (Printf.sprintf "%s:%s" tag (dims_str dims))
+  | Linalg.Bias_add dims -> Some (Printf.sprintf "bias_add:%s" (dims_str dims))
+  | Linalg.Generic_op -> None

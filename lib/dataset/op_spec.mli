@@ -1,0 +1,15 @@
+(** Textual operation specs for the CLI and benches.
+
+    Grammar (sizes are positive integers):
+    - ["matmul:MxNxK"], e.g. [matmul:1024x1024x1024]
+    - ["conv2d:HxWxC,kK,fF,sS\[,bB\]"], e.g. [conv2d:56x56x64,k3,f128,s1]
+    - ["maxpool:HxWxC,kK,sS\[,bB\]"], e.g. [maxpool:112x112x64,k2,s2]
+    - ["add:D1xD2\[x...\]"] and ["relu:D1x...\]"], e.g. [add:1024x1024] *)
+
+val parse : string -> (Linalg.t, string) result
+
+val to_spec : Linalg.t -> string option
+(** Inverse where possible ([None] for generic ops). *)
+
+val examples : string list
+(** One valid spec per kind, for help text. *)

@@ -1,0 +1,106 @@
+type access = { acc_buf : string; acc_index : int; acc_is_store : bool }
+
+let flat_index shape subscripts =
+  let idx = ref 0 in
+  for d = 0 to Array.length shape - 1 do
+    let s = subscripts.(d) in
+    if s < 0 || s >= shape.(d) then invalid_arg "Interp: subscript out of bounds";
+    idx := (!idx * shape.(d)) + s
+  done;
+  !idx
+
+let buffer_size shape = Array.fold_left ( * ) 1 shape
+
+let run ?on_access (nest : Loop_nest.t) ~inputs =
+  (match Loop_nest.validate nest with
+  | Ok () -> ()
+  | Error msg -> invalid_arg ("Interp.run: " ^ msg));
+  let buffers = Hashtbl.create 8 in
+  List.iter
+    (fun (name, shape) ->
+      let size = buffer_size shape in
+      let data =
+        match List.assoc_opt name inputs with
+        | Some buf ->
+            if Array.length buf <> size then
+              invalid_arg ("Interp.run: wrong size for buffer " ^ name);
+            Array.copy buf
+        | None ->
+            let init =
+              match List.assoc_opt name nest.inits with
+              | Some v -> v
+              | None -> 0.0
+            in
+            Array.make size init
+      in
+      (* An input buffer that also has an init (reduction output passed as
+         input) keeps the provided contents; inits only apply to buffers
+         the interpreter allocates itself. *)
+      Hashtbl.replace buffers name (shape, data))
+    nest.buffers;
+  let notify buf index is_store =
+    match on_access with
+    | None -> ()
+    | Some f -> f { acc_buf = buf; acc_index = index; acc_is_store = is_store }
+  in
+  let n = Loop_nest.n_loops nest in
+  let iters = Array.make n 0 in
+  let resolve (r : Loop_nest.mem_ref) =
+    let shape, data = Hashtbl.find buffers r.buf in
+    let subscripts = Array.map (fun e -> Affine.eval_expr e iters) r.idx in
+    (data, flat_index shape subscripts)
+  in
+  let rec eval (e : Loop_nest.sexpr) =
+    match e with
+    | Loop_nest.Load r ->
+        let data, idx = resolve r in
+        notify r.buf idx false;
+        data.(idx)
+    | Loop_nest.Const c -> c
+    | Loop_nest.Binop (b, x, y) ->
+        let vx = eval x in
+        let vy = eval y in
+        (match b with
+        | Linalg.Add -> vx +. vy
+        | Linalg.Sub -> vx -. vy
+        | Linalg.Mul -> vx *. vy
+        | Linalg.Div -> vx /. vy
+        | Linalg.Max -> Float.max vx vy)
+    | Loop_nest.Unop (u, x) -> (
+        let v = eval x in
+        match u with
+        | Linalg.Exp -> exp v
+        | Linalg.Log -> log v
+        | Linalg.Neg -> -.v)
+  in
+  let exec_body () =
+    List.iter
+      (fun (Loop_nest.Store (r, e)) ->
+        let v = eval e in
+        let data, idx = resolve r in
+        notify r.buf idx true;
+        data.(idx) <- v)
+      nest.body
+  in
+  let rec loop d =
+    if d = n then exec_body ()
+    else
+      for i = 0 to nest.loops.(d).Loop_nest.ub - 1 do
+        iters.(d) <- i;
+        loop (d + 1)
+      done
+  in
+  loop 0;
+  List.map
+    (fun (name, _) ->
+      let _, data = Hashtbl.find buffers name in
+      (name, data))
+    nest.buffers
+
+let output_of (nest : Loop_nest.t) bindings =
+  match List.rev (Loop_nest.stores_of_body nest) with
+  | [] -> invalid_arg "Interp.output_of: nest has no store"
+  | r :: _ -> (
+      match List.assoc_opt r.Loop_nest.buf bindings with
+      | Some buf -> buf
+      | None -> invalid_arg "Interp.output_of: output buffer missing")

@@ -1,0 +1,26 @@
+(** Reference interpreter for loop nests.
+
+    Executes a nest sequentially over concrete float buffers, ignoring
+    loop kinds (parallel and vector loops run as ordinary loops, which is
+    semantics-preserving for the ops this project handles). Used as
+    ground truth by the transformation test-suite and to drive the
+    trace-based cache simulator. *)
+
+type access = { acc_buf : string; acc_index : int; acc_is_store : bool }
+(** One memory access: buffer name, flat row-major element index, and
+    whether it is a store. *)
+
+val run :
+  ?on_access:(access -> unit) ->
+  Loop_nest.t ->
+  inputs:(string * float array) list ->
+  (string * float array) list
+(** [run nest ~inputs] allocates any buffer not provided in [inputs]
+    (applying the nest's [inits], zero otherwise), executes the nest and
+    returns every buffer binding. [on_access] is invoked for each load and
+    store in evaluation order. Raises [Invalid_argument] on missing or
+    mis-sized input buffers or an invalid nest. *)
+
+val output_of : Loop_nest.t -> (string * float array) list -> float array
+(** Convenience: extract the buffer that the nest's last store writes to.
+    Raises [Invalid_argument] if the nest has no store. *)

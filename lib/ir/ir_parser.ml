@@ -1,0 +1,435 @@
+exception Syntax_error of string
+
+type token =
+  | Tident of string
+  | Tint of int
+  | Tfloat of float
+  | Tvar of int  (* %3 *)
+  | Tat
+  | Tlbrace
+  | Trbrace
+  | Tlbrack
+  | Trbrack
+  | Tlparen
+  | Trparen
+  | Tcomma
+  | Tequal
+  | Tcolon
+  | Tstar
+  | Tplus
+  | Tminus
+  | Teof
+
+let token_to_string = function
+  | Tident s -> Printf.sprintf "identifier %S" s
+  | Tint n -> Printf.sprintf "integer %d" n
+  | Tfloat f -> Printf.sprintf "float %g" f
+  | Tvar v -> Printf.sprintf "%%%d" v
+  | Tat -> "'@'"
+  | Tlbrace -> "'{'"
+  | Trbrace -> "'}'"
+  | Tlbrack -> "'['"
+  | Trbrack -> "']'"
+  | Tlparen -> "'('"
+  | Trparen -> "')'"
+  | Tcomma -> "','"
+  | Tequal -> "'='"
+  | Tcolon -> "':'"
+  | Tstar -> "'*'"
+  | Tplus -> "'+'"
+  | Tminus -> "'-'"
+  | Teof -> "end of input"
+
+(* ------------------------------------------------------------------ *)
+(* Lexer                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '.'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 in
+  let fail msg = raise (Syntax_error (Printf.sprintf "line %d: %s" !line msg)) in
+  let pos = ref 0 in
+  let peek_char i = if i < n then Some src.[i] else None in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do incr pos done;
+      let is_float = ref false in
+      if !pos < n && src.[!pos] = '.' then begin
+        is_float := true;
+        incr pos;
+        while !pos < n && is_digit src.[!pos] do incr pos done
+      end;
+      if !pos < n && (src.[!pos] = 'e' || src.[!pos] = 'E') then begin
+        is_float := true;
+        incr pos;
+        if !pos < n && (src.[!pos] = '+' || src.[!pos] = '-') then incr pos;
+        while !pos < n && is_digit src.[!pos] do incr pos done
+      end;
+      let text = String.sub src start (!pos - start) in
+      if !is_float then tokens := Tfloat (float_of_string text) :: !tokens
+      else tokens := Tint (int_of_string text) :: !tokens
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do incr pos done;
+      tokens := Tident (String.sub src start (!pos - start)) :: !tokens
+    end
+    else if c = '%' then begin
+      incr pos;
+      let start = !pos in
+      while !pos < n && is_digit src.[!pos] do incr pos done;
+      if !pos = start then fail "expected loop variable index after '%'";
+      tokens := Tvar (int_of_string (String.sub src start (!pos - start))) :: !tokens
+    end
+    else begin
+      (match c with
+      | '@' -> tokens := Tat :: !tokens
+      | '{' -> tokens := Tlbrace :: !tokens
+      | '}' -> tokens := Trbrace :: !tokens
+      | '[' -> tokens := Tlbrack :: !tokens
+      | ']' -> tokens := Trbrack :: !tokens
+      | '(' -> tokens := Tlparen :: !tokens
+      | ')' -> tokens := Trparen :: !tokens
+      | ',' -> tokens := Tcomma :: !tokens
+      | '=' -> tokens := Tequal :: !tokens
+      | ':' -> tokens := Tcolon :: !tokens
+      | '*' -> tokens := Tstar :: !tokens
+      | '+' -> tokens := Tplus :: !tokens
+      | '-' -> tokens := Tminus :: !tokens
+      | _ ->
+          ignore (peek_char !pos);
+          fail (Printf.sprintf "unexpected character %C" c));
+      incr pos
+    end
+  done;
+  List.rev (Teof :: !tokens)
+
+(* ------------------------------------------------------------------ *)
+(* Parser state                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> Teof | t :: _ -> t
+
+let advance st =
+  match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect st tok =
+  let t = next st in
+  if t <> tok then
+    raise
+      (Syntax_error
+         (Printf.sprintf "expected %s, found %s" (token_to_string tok)
+            (token_to_string t)))
+
+let expect_ident st =
+  match next st with
+  | Tident s -> s
+  | t ->
+      raise
+        (Syntax_error
+           (Printf.sprintf "expected identifier, found %s" (token_to_string t)))
+
+let expect_int st =
+  match next st with
+  | Tint n -> n
+  | t ->
+      raise
+        (Syntax_error
+           (Printf.sprintf "expected integer, found %s" (token_to_string t)))
+
+let expect_keyword st kw =
+  let s = expect_ident st in
+  if s <> kw then
+    raise (Syntax_error (Printf.sprintf "expected keyword %S, found %S" kw s))
+
+(* Floats appear for init values and constants; accept "inf" spellings
+   and a leading minus sign. *)
+let expect_float st =
+  let negated, t =
+    match next st with Tminus -> (true, next st) | t -> (false, t)
+  in
+  let v =
+    match t with
+    | Tfloat f -> f
+    | Tint n -> float_of_int n
+    | Tident ("inf" | "infinity") -> infinity
+    | Tident "nan" -> nan
+    | t ->
+        raise
+          (Syntax_error
+             (Printf.sprintf "expected float, found %s" (token_to_string t)))
+  in
+  if negated then -.v else v
+
+(* ------------------------------------------------------------------ *)
+(* Grammar                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let parse_shape st =
+  expect st Tlbrack;
+  let dims = ref [] in
+  let rec go () =
+    dims := expect_int st :: !dims;
+    match peek st with
+    | Tcomma ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  expect st Trbrack;
+  Array.of_list (List.rev !dims)
+
+(* term := INT | INT '*' VAR | VAR ; expr := ['-'] term (('+'|'-') term)* *)
+let parse_affine_expr st ~n_dims =
+  let coeffs = Array.make n_dims 0 in
+  let const = ref 0 in
+  let add_var v c =
+    if v >= n_dims then
+      raise (Syntax_error (Printf.sprintf "loop variable %%%d out of range" v));
+    coeffs.(v) <- coeffs.(v) + c
+  in
+  let rec parse_term sign =
+    match next st with
+    | Tminus -> parse_term (-sign)
+    | Tint n -> (
+        match peek st with
+        | Tstar ->
+            advance st;
+            (match next st with
+            | Tvar v -> add_var v (sign * n)
+            | t ->
+                raise
+                  (Syntax_error
+                     (Printf.sprintf "expected loop variable after '*', found %s"
+                        (token_to_string t))))
+        | _ -> const := !const + (sign * n))
+    | Tvar v -> add_var v sign
+    | t ->
+        raise
+          (Syntax_error
+             (Printf.sprintf "expected affine term, found %s" (token_to_string t)))
+  in
+  let first_sign = match peek st with
+    | Tminus -> advance st; -1
+    | _ -> 1
+  in
+  parse_term first_sign;
+  let rec go () =
+    match peek st with
+    | Tplus ->
+        advance st;
+        parse_term 1;
+        go ()
+    | Tminus ->
+        advance st;
+        parse_term (-1);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  { Affine.coeffs; const = !const }
+
+let parse_mem_ref st ~n_dims ~buf =
+  expect st Tlbrack;
+  let idx = ref [] in
+  let rec go () =
+    idx := parse_affine_expr st ~n_dims :: !idx;
+    match peek st with
+    | Tcomma ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  expect st Trbrack;
+  { Loop_nest.buf; idx = Array.of_list (List.rev !idx) }
+
+let binop_of_name = function
+  | "add" -> Some Linalg.Add
+  | "sub" -> Some Linalg.Sub
+  | "mul" -> Some Linalg.Mul
+  | "div" -> Some Linalg.Div
+  | "max" -> Some Linalg.Max
+  | _ -> None
+
+let unop_of_name = function
+  | "exp" -> Some Linalg.Exp
+  | "log" -> Some Linalg.Log
+  | "neg" -> Some Linalg.Neg
+  | _ -> None
+
+let rec parse_sexpr st ~n_dims : Loop_nest.sexpr =
+  match peek st with
+  | Tint _ | Tfloat _ | Tminus -> Loop_nest.Const (expect_float st)
+  | Tident "load" ->
+      advance st;
+      let buf = expect_ident st in
+      Loop_nest.Load (parse_mem_ref st ~n_dims ~buf)
+  | Tident name -> (
+      advance st;
+      match binop_of_name name with
+      | Some b ->
+          expect st Tlparen;
+          let x = parse_sexpr st ~n_dims in
+          expect st Tcomma;
+          let y = parse_sexpr st ~n_dims in
+          expect st Trparen;
+          Loop_nest.Binop (b, x, y)
+      | None -> (
+          match unop_of_name name with
+          | Some u ->
+              expect st Tlparen;
+              let x = parse_sexpr st ~n_dims in
+              expect st Trparen;
+              Loop_nest.Unop (u, x)
+          | None ->
+              raise
+                (Syntax_error (Printf.sprintf "unknown operation %S" name))))
+  | t ->
+      raise
+        (Syntax_error
+           (Printf.sprintf "expected expression, found %s" (token_to_string t)))
+
+(* The loop header count is unknown until we meet "store"; collect loops
+   first, then parse the body with full arity. That requires affine
+   expressions inside the body only — loop headers contain plain ints —
+   so a two-phase parse is unnecessary: we track loop headers as we
+   descend and parse stores when we reach them. But store subscripts need
+   the final arity; we therefore pre-scan for it. *)
+let count_loops toks =
+  let rec go depth maxd = function
+    | Tident ("for" | "parallel" | "vector") :: rest ->
+        go (depth + 1) (max maxd (depth + 1)) rest
+    | _ :: rest -> go depth maxd rest
+    | [] -> maxd
+  in
+  go 0 0 toks
+
+let parse_loop_kind = function
+  | "for" -> Some Loop_nest.Seq
+  | "parallel" -> Some Loop_nest.Parallel
+  | "vector" -> Some Loop_nest.Vector
+  | _ -> None
+
+let parse_func st =
+  expect_keyword st "func";
+  expect st Tat;
+  let name = expect_ident st in
+  expect st Tlbrace;
+  let n_dims = count_loops st.toks in
+  let buffers = ref [] in
+  let inits = ref [] in
+  let rec parse_buffers () =
+    match peek st with
+    | Tident "buffer" ->
+        advance st;
+        let bname = expect_ident st in
+        expect st Tcolon;
+        let shape = parse_shape st in
+        (match peek st with
+        | Tident "init" ->
+            advance st;
+            inits := (bname, expect_float st) :: !inits
+        | _ -> ());
+        buffers := (bname, shape) :: !buffers;
+        parse_buffers ()
+    | _ -> ()
+  in
+  parse_buffers ();
+  let loops = ref [] in
+  let body = ref [] in
+  let rec parse_nest depth =
+    match peek st with
+    | Tident kw when parse_loop_kind kw <> None ->
+        advance st;
+        let kind = Option.get (parse_loop_kind kw) in
+        (match next st with
+        | Tvar v when v = depth -> ()
+        | Tvar v ->
+            raise
+              (Syntax_error
+                 (Printf.sprintf "loop variable %%%d at depth %d" v depth))
+        | t ->
+            raise
+              (Syntax_error
+                 (Printf.sprintf "expected loop variable, found %s"
+                    (token_to_string t))));
+        expect st Tequal;
+        let lb = expect_int st in
+        if lb <> 0 then raise (Syntax_error "loop lower bound must be 0");
+        expect_keyword st "to";
+        let ub = expect_int st in
+        expect_keyword st "origin";
+        let origin = expect_int st in
+        expect st Tlbrace;
+        loops := { Loop_nest.ub; kind; origin } :: !loops;
+        parse_nest (depth + 1);
+        expect st Trbrace
+    | _ ->
+        let rec parse_stores () =
+          match peek st with
+          | Tident "store" ->
+              advance st;
+              let buf = expect_ident st in
+              let r = parse_mem_ref st ~n_dims ~buf in
+              expect st Tequal;
+              let e = parse_sexpr st ~n_dims in
+              body := Loop_nest.Store (r, e) :: !body;
+              parse_stores ()
+          | _ -> ()
+        in
+        parse_stores ()
+  in
+  parse_nest 0;
+  expect st Trbrace;
+  let nest =
+    {
+      Loop_nest.name;
+      loops = Array.of_list (List.rev !loops);
+      body = List.rev !body;
+      buffers = List.rev !buffers;
+      inits = List.rev !inits;
+    }
+  in
+  match Loop_nest.validate nest with
+  | Ok () -> nest
+  | Error msg -> raise (Syntax_error ("invalid nest: " ^ msg))
+
+let parse src =
+  let st = { toks = tokenize src } in
+  let nest = parse_func st in
+  (match peek st with
+  | Teof -> ()
+  | t ->
+      raise
+        (Syntax_error
+           (Printf.sprintf "trailing input: %s" (token_to_string t))));
+  nest
+
+let parse_result src =
+  match parse src with
+  | nest -> Ok nest
+  | exception Syntax_error msg -> Error msg

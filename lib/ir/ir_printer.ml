@@ -1,0 +1,97 @@
+let pp_float ppf f =
+  (* Shortest representation that round-trips through float_of_string. *)
+  if Float.is_integer f && Float.abs f < 1e16 then
+    Format.fprintf ppf "%.1f" f
+  else Format.fprintf ppf "%.17g" f
+
+let pp_affine_expr ppf (e : Affine.expr) =
+  let printed = ref false in
+  Array.iteri
+    (fun i c ->
+      if c <> 0 then begin
+        if !printed then Format.fprintf ppf " + ";
+        if c = 1 then Format.fprintf ppf "%%%d" i
+        else Format.fprintf ppf "%d*%%%d" c i;
+        printed := true
+      end)
+    e.Affine.coeffs;
+  if e.Affine.const <> 0 || not !printed then begin
+    if !printed then Format.fprintf ppf " + ";
+    Format.fprintf ppf "%d" e.Affine.const
+  end
+
+let pp_mem_ref ppf (r : Loop_nest.mem_ref) =
+  Format.fprintf ppf "%s[" r.buf;
+  Array.iteri
+    (fun i e ->
+      if i > 0 then Format.fprintf ppf ", ";
+      pp_affine_expr ppf e)
+    r.idx;
+  Format.fprintf ppf "]"
+
+let binop_name = function
+  | Linalg.Add -> "add"
+  | Linalg.Sub -> "sub"
+  | Linalg.Mul -> "mul"
+  | Linalg.Div -> "div"
+  | Linalg.Max -> "max"
+
+let unop_name = function
+  | Linalg.Exp -> "exp"
+  | Linalg.Log -> "log"
+  | Linalg.Neg -> "neg"
+
+let rec pp_sexpr ppf (e : Loop_nest.sexpr) =
+  match e with
+  | Loop_nest.Load r -> Format.fprintf ppf "load %a" pp_mem_ref r
+  | Loop_nest.Const c -> pp_float ppf c
+  | Loop_nest.Binop (b, x, y) ->
+      Format.fprintf ppf "%s(@[%a,@ %a@])" (binop_name b) pp_sexpr x pp_sexpr y
+  | Loop_nest.Unop (u, x) ->
+      Format.fprintf ppf "%s(@[%a@])" (unop_name u) pp_sexpr x
+
+let loop_keyword = function
+  | Loop_nest.Seq -> "for"
+  | Loop_nest.Parallel -> "parallel"
+  | Loop_nest.Vector -> "vector"
+
+let pp_shape ppf shape =
+  Format.fprintf ppf "[";
+  Array.iteri
+    (fun i d ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%d" d)
+    shape;
+  Format.fprintf ppf "]"
+
+let pp ppf (nest : Loop_nest.t) =
+  let indent d = String.make (2 * (d + 1)) ' ' in
+  Format.fprintf ppf "func @@%s {@\n" nest.name;
+  List.iter
+    (fun (name, shape) ->
+      Format.fprintf ppf "%sbuffer %s : %a" (indent 0) name pp_shape shape;
+      (match List.assoc_opt name nest.inits with
+      | Some v -> Format.fprintf ppf " init %a" pp_float v
+      | None -> ());
+      Format.fprintf ppf "@\n")
+    nest.buffers;
+  let rec pp_loops d =
+    if d = Array.length nest.loops then
+      List.iter
+        (fun (Loop_nest.Store (r, e)) ->
+          Format.fprintf ppf "%s@[<h>store %a = %a@]@\n" (indent d) pp_mem_ref
+            r pp_sexpr e)
+        nest.body
+    else begin
+      let l = nest.loops.(d) in
+      Format.fprintf ppf "%s%s %%%d = 0 to %d origin %d {@\n" (indent d)
+        (loop_keyword l.Loop_nest.kind)
+        d l.Loop_nest.ub l.Loop_nest.origin;
+      pp_loops (d + 1);
+      Format.fprintf ppf "%s}@\n" (indent d)
+    end
+  in
+  pp_loops 0;
+  Format.fprintf ppf "}"
+
+let to_string nest = Format.asprintf "%a" pp nest

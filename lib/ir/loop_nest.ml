@@ -1,0 +1,117 @@
+type loop_kind = Seq | Parallel | Vector
+type loop = { ub : int; kind : loop_kind; origin : int }
+type mem_ref = { buf : string; idx : Affine.expr array }
+
+type sexpr =
+  | Load of mem_ref
+  | Const of float
+  | Binop of Linalg.binop * sexpr * sexpr
+  | Unop of Linalg.unop * sexpr
+
+type stmt = Store of mem_ref * sexpr
+
+type t = {
+  name : string;
+  loops : loop array;
+  body : stmt list;
+  buffers : (string * int array) list;
+  inits : (string * float) list;
+}
+
+let n_loops t = Array.length t.loops
+let trip_counts t = Array.map (fun l -> l.ub) t.loops
+let iteration_count t = Array.fold_left (fun acc l -> acc * l.ub) 1 t.loops
+
+let buffer_shape t name =
+  match List.assoc_opt name t.buffers with
+  | Some shape -> shape
+  | None -> raise Not_found
+
+let rec refs_of_sexpr acc = function
+  | Load r -> r :: acc
+  | Const _ -> acc
+  | Binop (_, a, b) -> refs_of_sexpr (refs_of_sexpr acc a) b
+  | Unop (_, e) -> refs_of_sexpr acc e
+
+let loads_of_body t =
+  List.concat_map
+    (fun (Store (_, e)) -> List.rev (refs_of_sexpr [] e))
+    t.body
+
+let stores_of_body t = List.map (fun (Store (r, _)) -> r) t.body
+
+let validate t =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let n = n_loops t in
+  let check_ref (r : mem_ref) =
+    match List.assoc_opt r.buf t.buffers with
+    | None -> err "nest %s: undeclared buffer %s" t.name r.buf
+    | Some shape ->
+        if Array.length r.idx <> Array.length shape then
+          err "nest %s: buffer %s has rank %d, subscript rank %d" t.name
+            r.buf (Array.length shape) (Array.length r.idx)
+        else begin
+          let result = ref (Ok ()) in
+          Array.iteri
+            (fun d (e : Affine.expr) ->
+              if Array.length e.Affine.coeffs <> n then
+                result :=
+                  err "nest %s: subscript arity %d, expected %d" t.name
+                    (Array.length e.Affine.coeffs)
+                    n
+              else begin
+                (* Max/min over the box domain, per coefficient sign. *)
+                let hi = ref e.Affine.const and lo = ref e.Affine.const in
+                Array.iteri
+                  (fun i c ->
+                    let extent = t.loops.(i).ub - 1 in
+                    if c > 0 then hi := !hi + (c * extent)
+                    else lo := !lo + (c * extent))
+                  e.Affine.coeffs;
+                if !hi >= shape.(d) || !lo < 0 then
+                  result :=
+                    err "nest %s: buffer %s dim %d subscript range [%d, %d] out of [0, %d)"
+                      t.name r.buf d !lo !hi shape.(d)
+              end)
+            r.idx;
+          !result
+        end
+  in
+  let rec first_err = function
+    | [] -> Ok ()
+    | r :: rest -> ( match check_ref r with Ok () -> first_err rest | e -> e)
+  in
+  if Array.exists (fun l -> l.ub <= 0) t.loops then
+    err "nest %s: non-positive trip count" t.name
+  else
+    match first_err (stores_of_body t @ loads_of_body t) with
+    | Error _ as e -> e
+    | Ok () ->
+        let undeclared_init =
+          List.find_opt
+            (fun (b, _) -> not (List.mem_assoc b t.buffers))
+            t.inits
+        in
+        (match undeclared_init with
+        | Some (b, _) -> err "nest %s: init of undeclared buffer %s" t.name b
+        | None -> Ok ())
+
+let rename name t = { t with name }
+
+let map_body_exprs f t =
+  let map_ref r = { r with idx = Array.map f r.idx } in
+  let rec map_sexpr = function
+    | Load r -> Load (map_ref r)
+    | Const c -> Const c
+    | Binop (b, x, y) -> Binop (b, map_sexpr x, map_sexpr y)
+    | Unop (u, e) -> Unop (u, map_sexpr e)
+  in
+  {
+    t with
+    body = List.map (fun (Store (r, e)) -> Store (map_ref r, map_sexpr e)) t.body;
+  }
+
+let equal_semantics_domain a b =
+  List.sort compare a.buffers = List.sort compare b.buffers
+  && List.sort compare a.inits = List.sort compare b.inits
+  && iteration_count a = iteration_count b

@@ -1,0 +1,33 @@
+let to_loop_nest (op : Linalg.t) : Loop_nest.t =
+  let ref_of_operand (o : Linalg.operand) : Loop_nest.mem_ref =
+    { buf = o.name; idx = Array.copy o.map.Affine.exprs }
+  in
+  let out_ref = ref_of_operand op.output in
+  let rec lower_expr (e : Linalg.scalar_expr) : Loop_nest.sexpr =
+    match e with
+    | Linalg.Input i -> Loop_nest.Load (ref_of_operand op.inputs.(i))
+    | Linalg.Output -> Loop_nest.Load out_ref
+    | Linalg.Const c -> Loop_nest.Const c
+    | Linalg.Binop (b, x, y) -> Loop_nest.Binop (b, lower_expr x, lower_expr y)
+    | Linalg.Unop (u, x) -> Loop_nest.Unop (u, lower_expr x)
+  in
+  let buffers =
+    Array.to_list
+      (Array.map (fun (o : Linalg.operand) -> (o.name, Array.copy o.shape)) op.inputs)
+    @ [ (op.output.name, Array.copy op.output.shape) ]
+  in
+  let inits =
+    match op.init with
+    | Some v -> [ (op.output.name, v) ]
+    | None -> []
+  in
+  {
+    Loop_nest.name = op.op_name;
+    loops =
+      Array.mapi
+        (fun i ub -> { Loop_nest.ub; kind = Loop_nest.Seq; origin = i })
+        op.domain;
+    body = [ Loop_nest.Store (out_ref, lower_expr op.body) ];
+    buffers;
+    inits;
+  }

@@ -1,0 +1,11 @@
+(** Lowering structured ops to affine loop nests.
+
+    Mirrors MLIR's Linalg-to-Affine lowering used by the paper's feature
+    extraction pipeline (Figure 1): the op's iteration domain becomes a
+    perfect loop band, indexing maps become load/store subscripts and the
+    scalar body becomes a single store statement. *)
+
+val to_loop_nest : Linalg.t -> Loop_nest.t
+(** Lower an op to its canonical (untransformed) loop nest. The resulting
+    nest validates, all loops are sequential, and running it through the
+    interpreter computes exactly {!Linalg.execute_reference}. *)

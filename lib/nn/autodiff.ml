@@ -1,0 +1,322 @@
+module Param = struct
+  type t = { name : string; data : Tensor.t; grad : Tensor.t }
+
+  let create name data =
+    { name; data; grad = Tensor.zeros (Tensor.dims data) }
+
+  let zero_grad p = Tensor.fill_inplace p.grad 0.0
+  let numel p = Tensor.numel p.data
+end
+
+type node = {
+  value : Tensor.t;
+  grad : Tensor.t;
+  back : unit -> unit;  (* reads [grad], accumulates into parents *)
+}
+
+module Tape = struct
+  type t = { mutable nodes : node list; mutable n : int }
+
+  let create () = { nodes = []; n = 0 }
+  let push t node =
+    t.nodes <- node :: t.nodes;
+    t.n <- t.n + 1
+  let length t = t.n
+end
+
+let value n = n.value
+let grad n = n.grad
+
+let mk tape value back =
+  let node = { value; grad = Tensor.zeros (Tensor.dims value); back } in
+  (* [back] closures capture the node's grad via this record; we tie the
+     knot by building the closure after allocation in each op. *)
+  Tape.push tape node;
+  node
+
+let of_param tape (p : Param.t) =
+  let rec node =
+    {
+      value = p.Param.data;
+      grad = Tensor.zeros (Tensor.dims p.Param.data);
+      back = (fun () -> Tensor.add_inplace p.Param.grad node.grad);
+    }
+  in
+  Tape.push tape node;
+  node
+
+let const tape t =
+  mk tape t (fun () -> ())
+
+let matmul tape a b =
+  let rec node =
+    {
+      value = Tensor.matmul a.value b.value;
+      grad = Tensor.zeros [| a.value.Tensor.shape.(0); b.value.Tensor.shape.(1) |];
+      back =
+        (fun () ->
+          (* dA = dC * B^T ; dB = A^T * dC *)
+          Tensor.add_inplace a.grad (Tensor.matmul_transpose_b node.grad b.value);
+          Tensor.add_inplace b.grad (Tensor.matmul_transpose_a a.value node.grad));
+    }
+  in
+  Tape.push tape node;
+  node
+
+let add tape a b =
+  let rec node =
+    {
+      value = Tensor.add a.value b.value;
+      grad = Tensor.zeros (Tensor.dims a.value);
+      back =
+        (fun () ->
+          Tensor.add_inplace a.grad node.grad;
+          Tensor.add_inplace b.grad node.grad);
+    }
+  in
+  Tape.push tape node;
+  node
+
+let sub tape a b =
+  let rec node =
+    {
+      value = Tensor.sub a.value b.value;
+      grad = Tensor.zeros (Tensor.dims a.value);
+      back =
+        (fun () ->
+          Tensor.add_inplace a.grad node.grad;
+          for i = 0 to Tensor.numel b.grad - 1 do
+            Tensor.set b.grad i (Tensor.get b.grad i -. Tensor.get node.grad i)
+          done);
+    }
+  in
+  Tape.push tape node;
+  node
+
+let mul tape a b =
+  let rec node =
+    {
+      value = Tensor.mul a.value b.value;
+      grad = Tensor.zeros (Tensor.dims a.value);
+      back =
+        (fun () ->
+          Tensor.add_inplace a.grad (Tensor.mul node.grad b.value);
+          Tensor.add_inplace b.grad (Tensor.mul node.grad a.value));
+    }
+  in
+  Tape.push tape node;
+  node
+
+let add_bias tape x b =
+  let rec node =
+    {
+      value = Tensor.add_bias x.value b.value;
+      grad = Tensor.zeros (Tensor.dims x.value);
+      back =
+        (fun () ->
+          Tensor.add_inplace x.grad node.grad;
+          let m = x.value.Tensor.shape.(0) and n = x.value.Tensor.shape.(1) in
+          for i = 0 to m - 1 do
+            for j = 0 to n - 1 do
+              Tensor.set b.grad j
+                (Tensor.get b.grad j +. Tensor.get2 node.grad i j)
+            done
+          done);
+    }
+  in
+  Tape.push tape node;
+  node
+
+let unary tape a ~f ~df =
+  (* df receives (input value, output gradient) elementwise *)
+  let rec node =
+    {
+      value = Tensor.map f a.value;
+      grad = Tensor.zeros (Tensor.dims a.value);
+      back =
+        (fun () ->
+          for i = 0 to Tensor.numel a.value - 1 do
+            Tensor.set a.grad i
+              (Tensor.get a.grad i
+              +. df (Tensor.get a.value i) (Tensor.get node.grad i))
+          done);
+    }
+  in
+  Tape.push tape node;
+  node
+
+let relu tape a =
+  unary tape a
+    ~f:(fun x -> if x > 0.0 then x else 0.0)
+    ~df:(fun x g -> if x > 0.0 then g else 0.0)
+
+let exp_ tape a = unary tape a ~f:exp ~df:(fun x g -> g *. exp x)
+let neg tape a = unary tape a ~f:(fun x -> -.x) ~df:(fun _ g -> -.g)
+let scale tape k a = unary tape a ~f:(fun x -> k *. x) ~df:(fun _ g -> k *. g)
+let add_scalar tape k a = unary tape a ~f:(fun x -> x +. k) ~df:(fun _ g -> g)
+let square tape a = unary tape a ~f:(fun x -> x *. x) ~df:(fun x g -> 2.0 *. x *. g)
+
+let clamp tape ~lo ~hi a =
+  unary tape a
+    ~f:(fun x -> Float.min hi (Float.max lo x))
+    ~df:(fun x g -> if x >= lo && x <= hi then g else 0.0)
+
+let min_ tape a b =
+  let rec node =
+    {
+      value = Tensor.map2 Float.min a.value b.value;
+      grad = Tensor.zeros (Tensor.dims a.value);
+      back =
+        (fun () ->
+          for i = 0 to Tensor.numel a.value - 1 do
+            let g = Tensor.get node.grad i in
+            if Tensor.get a.value i <= Tensor.get b.value i then
+              Tensor.set a.grad i (Tensor.get a.grad i +. g)
+            else Tensor.set b.grad i (Tensor.get b.grad i +. g)
+          done);
+    }
+  in
+  Tape.push tape node;
+  node
+
+let log_softmax tape a =
+  let x = a.value in
+  if Array.length x.Tensor.shape <> 2 then
+    invalid_arg "Autodiff.log_softmax: expected rank 2";
+  let m = x.Tensor.shape.(0) and n = x.Tensor.shape.(1) in
+  let out = Tensor.zeros [| m; n |] in
+  for i = 0 to m - 1 do
+    let row_max = ref neg_infinity in
+    for j = 0 to n - 1 do
+      row_max := Float.max !row_max (Tensor.get2 x i j)
+    done;
+    let sum = ref 0.0 in
+    for j = 0 to n - 1 do
+      sum := !sum +. exp (Tensor.get2 x i j -. !row_max)
+    done;
+    let log_z = !row_max +. log !sum in
+    for j = 0 to n - 1 do
+      Tensor.set2 out i j (Tensor.get2 x i j -. log_z)
+    done
+  done;
+  let rec node =
+    {
+      value = out;
+      grad = Tensor.zeros [| m; n |];
+      back =
+        (fun () ->
+          (* dx_ij = g_ij - softmax_ij * sum_j g_ij *)
+          for i = 0 to m - 1 do
+            let gsum = ref 0.0 in
+            for j = 0 to n - 1 do
+              gsum := !gsum +. Tensor.get2 node.grad i j
+            done;
+            for j = 0 to n - 1 do
+              let p = exp (Tensor.get2 node.value i j) in
+              Tensor.set2 a.grad i j
+                (Tensor.get2 a.grad i j
+                +. Tensor.get2 node.grad i j
+                -. (p *. !gsum))
+            done
+          done);
+    }
+  in
+  Tape.push tape node;
+  node
+
+let gather_cols tape a cols =
+  let x = a.value in
+  if Array.length x.Tensor.shape <> 2 then
+    invalid_arg "Autodiff.gather_cols: expected rank 2";
+  let m = x.Tensor.shape.(0) in
+  if Array.length cols <> m then
+    invalid_arg "Autodiff.gather_cols: one column index per row required";
+  let out = Tensor.init [| m |] (fun i -> Tensor.get2 x i cols.(i)) in
+  let rec node =
+    {
+      value = out;
+      grad = Tensor.zeros [| m |];
+      back =
+        (fun () ->
+          for i = 0 to m - 1 do
+            Tensor.set2 a.grad i cols.(i)
+              (Tensor.get2 a.grad i cols.(i) +. Tensor.get node.grad i)
+          done);
+    }
+  in
+  Tape.push tape node;
+  node
+
+let slice_cols tape a ~lo ~hi =
+  let x = a.value in
+  if Array.length x.Tensor.shape <> 2 then
+    invalid_arg "Autodiff.slice_cols: expected rank 2";
+  let m = x.Tensor.shape.(0) and n = x.Tensor.shape.(1) in
+  if lo < 0 || hi > n || lo >= hi then
+    invalid_arg "Autodiff.slice_cols: bad range";
+  let w = hi - lo in
+  let out = Tensor.init [| m; w |] (fun i -> Tensor.get2 x (i / w) (lo + (i mod w))) in
+  let rec node =
+    {
+      value = out;
+      grad = Tensor.zeros [| m; w |];
+      back =
+        (fun () ->
+          for i = 0 to m - 1 do
+            for j = 0 to w - 1 do
+              Tensor.set2 a.grad i (lo + j)
+                (Tensor.get2 a.grad i (lo + j) +. Tensor.get2 node.grad i j)
+            done
+          done);
+    }
+  in
+  Tape.push tape node;
+  node
+
+let sum_rows tape a =
+  let x = a.value in
+  if Array.length x.Tensor.shape <> 2 then
+    invalid_arg "Autodiff.sum_rows: expected rank 2";
+  let m = x.Tensor.shape.(0) and n = x.Tensor.shape.(1) in
+  let rec node =
+    {
+      value = Tensor.sum_rows x;
+      grad = Tensor.zeros [| m |];
+      back =
+        (fun () ->
+          for i = 0 to m - 1 do
+            let g = Tensor.get node.grad i in
+            for j = 0 to n - 1 do
+              Tensor.set2 a.grad i j (Tensor.get2 a.grad i j +. g)
+            done
+          done);
+    }
+  in
+  Tape.push tape node;
+  node
+
+let sum_all tape a =
+  let rec node =
+    {
+      value = Tensor.scalar (Tensor.sum a.value);
+      grad = Tensor.zeros [| 1 |];
+      back =
+        (fun () ->
+          let g = Tensor.get node.grad 0 in
+          for i = 0 to Tensor.numel a.value - 1 do
+            Tensor.set a.grad i (Tensor.get a.grad i +. g)
+          done);
+    }
+  in
+  Tape.push tape node;
+  node
+
+let mean_all tape a =
+  let n = Tensor.numel a.value in
+  scale tape (1.0 /. float_of_int n) (sum_all tape a)
+
+let backward (tape : Tape.t) node =
+  if Tensor.numel node.value <> 1 then
+    invalid_arg "Autodiff.backward: loss must be a scalar";
+  Tensor.fill_inplace node.grad 1.0;
+  List.iter (fun n -> n.back ()) tape.Tape.nodes

@@ -1,0 +1,87 @@
+(** Tape-based reverse-mode automatic differentiation over {!Tensor}.
+
+    Operations executed under a {!Tape.t} record their backward closures;
+    {!backward} replays the tape in reverse, accumulating gradients into
+    each node and, for parameter leaves, into the parameter's persistent
+    gradient buffer. Granularity is whole tensors (matmul, elementwise,
+    softmax...), which keeps the overhead negligible next to the matrix
+    products. *)
+
+module Param : sig
+  type t = {
+    name : string;
+    data : Tensor.t;  (** mutable storage updated by the optimizer *)
+    grad : Tensor.t;  (** accumulated by {!val-backward} *)
+  }
+
+  val create : string -> Tensor.t -> t
+  val zero_grad : t -> unit
+  val numel : t -> int
+end
+
+module Tape : sig
+  type t
+
+  val create : unit -> t
+
+  val length : t -> int
+  (** Number of recorded nodes (for tests). *)
+end
+
+type node
+(** A value in the computation graph. *)
+
+val value : node -> Tensor.t
+val grad : node -> Tensor.t
+(** Gradient accumulated so far (zeros before {!backward}). *)
+
+val of_param : Tape.t -> Param.t -> node
+(** Parameter leaf: backward adds into [Param.grad]. *)
+
+val const : Tape.t -> Tensor.t -> node
+(** Constant leaf: no gradient flows out of it. *)
+
+(* -- differentiable operations -- *)
+
+val matmul : Tape.t -> node -> node -> node
+val add : Tape.t -> node -> node -> node
+val sub : Tape.t -> node -> node -> node
+val mul : Tape.t -> node -> node -> node
+val add_bias : Tape.t -> node -> node -> node
+(** [add_bias t x b]: rank-2 [x] plus rank-1 bias [b] per row. *)
+
+val relu : Tape.t -> node -> node
+val exp_ : Tape.t -> node -> node
+val neg : Tape.t -> node -> node
+val scale : Tape.t -> float -> node -> node
+val add_scalar : Tape.t -> float -> node -> node
+val square : Tape.t -> node -> node
+
+val clamp : Tape.t -> lo:float -> hi:float -> node -> node
+(** Gradient passes through inside \[lo, hi\], zero outside (PPO clip). *)
+
+val min_ : Tape.t -> node -> node -> node
+(** Elementwise minimum; gradient routes to the smaller operand. *)
+
+val log_softmax : Tape.t -> node -> node
+(** Row-wise log-softmax of a rank-2 tensor, numerically stabilized. *)
+
+val gather_cols : Tape.t -> node -> int array -> node
+(** [gather_cols t x cols] picks [x.(i, cols.(i))] per row; result has
+    shape [rows]. *)
+
+val slice_cols : Tape.t -> node -> lo:int -> hi:int -> node
+(** Columns [lo, hi) of a rank-2 tensor. *)
+
+val sum_rows : Tape.t -> node -> node
+(** [m; n] -> [m]. *)
+
+val sum_all : Tape.t -> node -> node
+(** Any shape -> scalar (shape [1]). *)
+
+val mean_all : Tape.t -> node -> node
+
+val backward : Tape.t -> node -> unit
+(** Seed the given (scalar) node's gradient with ones and propagate
+    backwards through everything recorded on the tape. Raises
+    [Invalid_argument] if the node holds more than one element. *)

@@ -1,0 +1,78 @@
+let mask_penalty = -1e9
+
+let masked_log_probs tape logits ~mask =
+  let v = Autodiff.value logits in
+  if Array.length v.Tensor.shape <> 2 then
+    invalid_arg "Distributions.masked_log_probs: expected rank 2";
+  let m = v.Tensor.shape.(0) and k = v.Tensor.shape.(1) in
+  if Array.length mask <> m then
+    invalid_arg "Distributions.masked_log_probs: one mask row per batch row";
+  Array.iter
+    (fun row ->
+      if Array.length row <> k then
+        invalid_arg "Distributions.masked_log_probs: mask arity mismatch";
+      if not (Array.exists (fun b -> b) row) then
+        invalid_arg "Distributions.masked_log_probs: empty action mask")
+    mask;
+  let penalty =
+    Tensor.init [| m; k |] (fun i ->
+        if mask.(i / k).(i mod k) then 0.0 else mask_penalty)
+  in
+  let masked = Autodiff.add tape logits (Autodiff.const tape penalty) in
+  Autodiff.log_softmax tape masked
+
+let sample rng log_probs row =
+  let k = log_probs.Tensor.shape.(1) in
+  let u = Util.Rng.uniform rng in
+  let acc = ref 0.0 in
+  let chosen = ref (k - 1) in
+  (try
+     for j = 0 to k - 1 do
+       acc := !acc +. exp (Tensor.get2 log_probs row j);
+       if u < !acc then begin
+         chosen := j;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !chosen
+
+let sample_tempered rng log_probs row ~temperature =
+  if temperature <= 0.0 then
+    invalid_arg "Distributions.sample_tempered: temperature must be positive";
+  let k = log_probs.Tensor.shape.(1) in
+  (* renormalize exp(lp / T) with a max-shift for stability *)
+  let row_max = ref neg_infinity in
+  for j = 0 to k - 1 do
+    row_max := Float.max !row_max (Tensor.get2 log_probs row j /. temperature)
+  done;
+  let z = ref 0.0 in
+  let weights = Array.make k 0.0 in
+  for j = 0 to k - 1 do
+    let w = exp ((Tensor.get2 log_probs row j /. temperature) -. !row_max) in
+    weights.(j) <- w;
+    z := !z +. w
+  done;
+  let u = Util.Rng.uniform rng *. !z in
+  let acc = ref 0.0 in
+  let chosen = ref (k - 1) in
+  (try
+     for j = 0 to k - 1 do
+       acc := !acc +. weights.(j);
+       if u < !acc then begin
+         chosen := j;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !chosen
+
+let argmax log_probs row = Tensor.argmax_row log_probs row
+
+let log_prob_of tape log_probs actions =
+  Autodiff.gather_cols tape log_probs actions
+
+let entropy tape log_probs =
+  (* H = -sum_j p_j log p_j with p = exp(log p). *)
+  let p = Autodiff.exp_ tape log_probs in
+  Autodiff.neg tape (Autodiff.sum_rows tape (Autodiff.mul tape p log_probs))

@@ -1,0 +1,45 @@
+type linear = { w : Autodiff.Param.t; b : Autodiff.Param.t }
+
+let linear rng ~in_dim ~out_dim name =
+  {
+    w =
+      Autodiff.Param.create (name ^ ".w")
+        (Tensor.xavier_uniform rng ~fan_in:in_dim ~fan_out:out_dim
+           [| in_dim; out_dim |]);
+    b = Autodiff.Param.create (name ^ ".b") (Tensor.zeros [| out_dim |]);
+  }
+
+let forward_linear tape l x =
+  let w = Autodiff.of_param tape l.w in
+  let b = Autodiff.of_param tape l.b in
+  Autodiff.add_bias tape (Autodiff.matmul tape x w) b
+
+let linear_params l = [ l.w; l.b ]
+
+type mlp = { layers : linear list }
+
+let mlp rng ~dims name =
+  let rec build i = function
+    | [] | [ _ ] -> []
+    | d_in :: (d_out :: _ as rest) ->
+        linear rng ~in_dim:d_in ~out_dim:d_out
+          (Printf.sprintf "%s.%d" name i)
+        :: build (i + 1) rest
+  in
+  { layers = build 0 dims }
+
+let forward_mlp tape m x =
+  let n = List.length m.layers in
+  let rec go i x = function
+    | [] -> x
+    | l :: rest ->
+        let y = forward_linear tape l x in
+        let y = if i < n - 1 then Autodiff.relu tape y else y in
+        go (i + 1) y rest
+  in
+  go 0 x m.layers
+
+let mlp_params m = List.concat_map linear_params m.layers
+
+let param_count params =
+  List.fold_left (fun acc p -> acc + Autodiff.Param.numel p) 0 params

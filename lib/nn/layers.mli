@@ -1,0 +1,24 @@
+(** Network building blocks: linear layers and MLP stacks. *)
+
+type linear = {
+  w : Autodiff.Param.t;  (** \[in_dim; out_dim\] *)
+  b : Autodiff.Param.t;  (** \[out_dim\] *)
+}
+
+val linear : Util.Rng.t -> in_dim:int -> out_dim:int -> string -> linear
+(** Xavier-uniform weights, zero bias. *)
+
+val forward_linear : Autodiff.Tape.t -> linear -> Autodiff.node -> Autodiff.node
+(** [x * w + b] for a batch [x] of shape \[batch; in_dim\]. *)
+
+val linear_params : linear -> Autodiff.Param.t list
+
+type mlp = { layers : linear list }
+(** Dense layers with ReLU between them (none after the last). *)
+
+val mlp : Util.Rng.t -> dims:int list -> string -> mlp
+(** [mlp rng ~dims:\[in; h1; ...; out\] name] builds len-1 linear layers. *)
+
+val forward_mlp : Autodiff.Tape.t -> mlp -> Autodiff.node -> Autodiff.node
+val mlp_params : mlp -> Autodiff.Param.t list
+val param_count : Autodiff.Param.t list -> int

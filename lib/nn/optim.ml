@@ -1,0 +1,88 @@
+type algo =
+  | Sgd
+  | Adam of {
+      beta1 : float;
+      beta2 : float;
+      eps : float;
+      m : Tensor.t array;
+      v : Tensor.t array;
+      mutable t : int;
+    }
+
+type t = {
+  params : Autodiff.Param.t array;
+  mutable lr : float;
+  algo : algo;
+}
+
+let adam ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) ~lr params =
+  let params = Array.of_list params in
+  {
+    params;
+    lr;
+    algo =
+      Adam
+        {
+          beta1;
+          beta2;
+          eps;
+          m = Array.map (fun p -> Tensor.zeros (Tensor.dims p.Autodiff.Param.data)) params;
+          v = Array.map (fun p -> Tensor.zeros (Tensor.dims p.Autodiff.Param.data)) params;
+          t = 0;
+        };
+  }
+
+let sgd ~lr params = { params = Array.of_list params; lr; algo = Sgd }
+
+let step opt =
+  match opt.algo with
+  | Sgd ->
+      Array.iter
+        (fun (p : Autodiff.Param.t) ->
+          for i = 0 to Tensor.numel p.data - 1 do
+            Tensor.set p.data i
+              (Tensor.get p.data i -. (opt.lr *. Tensor.get p.grad i))
+          done)
+        opt.params
+  | Adam a ->
+      a.t <- a.t + 1;
+      let t = float_of_int a.t in
+      let bc1 = 1.0 -. (a.beta1 ** t) in
+      let bc2 = 1.0 -. (a.beta2 ** t) in
+      Array.iteri
+        (fun k (p : Autodiff.Param.t) ->
+          let m = a.m.(k) and v = a.v.(k) in
+          for i = 0 to Tensor.numel p.data - 1 do
+            let g = Tensor.get p.grad i in
+            let mi = (a.beta1 *. Tensor.get m i) +. ((1.0 -. a.beta1) *. g) in
+            let vi =
+              (a.beta2 *. Tensor.get v i) +. ((1.0 -. a.beta2) *. g *. g)
+            in
+            Tensor.set m i mi;
+            Tensor.set v i vi;
+            let m_hat = mi /. bc1 in
+            let v_hat = vi /. bc2 in
+            Tensor.set p.data i
+              (Tensor.get p.data i -. (opt.lr *. m_hat /. (sqrt v_hat +. a.eps)))
+          done)
+        opt.params
+
+let zero_grad opt = Array.iter Autodiff.Param.zero_grad opt.params
+
+let set_lr opt lr = opt.lr <- lr
+
+let clip_grad_norm opt max_norm =
+  let sq = ref 0.0 in
+  Array.iter
+    (fun (p : Autodiff.Param.t) ->
+      for i = 0 to Tensor.numel p.grad - 1 do
+        let g = Tensor.get p.grad i in
+        sq := !sq +. (g *. g)
+      done)
+    opt.params;
+  let norm = sqrt !sq in
+  if norm > max_norm && norm > 0.0 then begin
+    let k = max_norm /. norm in
+    Array.iter (fun (p : Autodiff.Param.t) -> Tensor.scale_inplace p.grad k) opt.params
+  end;
+  norm

@@ -1,0 +1,26 @@
+(** Gradient-descent optimizers. *)
+
+type t
+(** Optimizer state bound to a fixed parameter list. *)
+
+val adam :
+  ?beta1:float ->
+  ?beta2:float ->
+  ?eps:float ->
+  lr:float ->
+  Autodiff.Param.t list ->
+  t
+(** Adam with bias correction (Kingma & Ba). *)
+
+val sgd : lr:float -> Autodiff.Param.t list -> t
+
+val step : t -> unit
+(** Apply one update from the parameters' accumulated gradients. *)
+
+val zero_grad : t -> unit
+
+val set_lr : t -> float -> unit
+
+val clip_grad_norm : t -> float -> float
+(** [clip_grad_norm t max_norm] rescales all gradients if their global L2
+    norm exceeds [max_norm]; returns the pre-clip norm. *)

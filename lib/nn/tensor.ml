@@ -1,0 +1,220 @@
+type t = { shape : int array; data : float array }
+
+let product = Array.fold_left ( * ) 1
+
+let create shape v =
+  if Array.exists (fun d -> d <= 0) shape then
+    invalid_arg "Tensor.create: non-positive dimension";
+  { shape = Array.copy shape; data = Array.make (product shape) v }
+
+let zeros shape = create shape 0.0
+let ones shape = create shape 1.0
+
+let of_array shape data =
+  if Array.length data <> product shape then
+    invalid_arg "Tensor.of_array: size mismatch";
+  { shape = Array.copy shape; data = Array.copy data }
+
+let init shape f =
+  { shape = Array.copy shape; data = Array.init (product shape) f }
+
+let scalar v = { shape = [| 1 |]; data = [| v |] }
+
+let numel t = Array.length t.data
+let dims t = Array.copy t.shape
+let copy t = { shape = Array.copy t.shape; data = Array.copy t.data }
+
+let reshape shape t =
+  if product shape <> numel t then invalid_arg "Tensor.reshape: size mismatch";
+  { shape = Array.copy shape; data = Array.copy t.data }
+
+let get t i = t.data.(i)
+let set t i v = t.data.(i) <- v
+
+let check_rank2 name t =
+  if Array.length t.shape <> 2 then invalid_arg (name ^ ": expected rank 2")
+
+let get2 t i j =
+  check_rank2 "Tensor.get2" t;
+  t.data.((i * t.shape.(1)) + j)
+
+let set2 t i j v =
+  check_rank2 "Tensor.set2" t;
+  t.data.((i * t.shape.(1)) + j) <- v
+
+let matmul a b =
+  check_rank2 "Tensor.matmul" a;
+  check_rank2 "Tensor.matmul" b;
+  let m = a.shape.(0) and k = a.shape.(1) in
+  let k' = b.shape.(0) and n = b.shape.(1) in
+  if k <> k' then invalid_arg "Tensor.matmul: inner dimension mismatch";
+  let out = Array.make (m * n) 0.0 in
+  let ad = a.data and bd = b.data in
+  for i = 0 to m - 1 do
+    let arow = i * k in
+    let orow = i * n in
+    for p = 0 to k - 1 do
+      let av = Array.unsafe_get ad (arow + p) in
+      if av <> 0.0 then begin
+        let brow = p * n in
+        for j = 0 to n - 1 do
+          Array.unsafe_set out (orow + j)
+            (Array.unsafe_get out (orow + j)
+            +. (av *. Array.unsafe_get bd (brow + j)))
+        done
+      end
+    done
+  done;
+  { shape = [| m; n |]; data = out }
+
+let matmul_transpose_a a b =
+  (* a : [k; m], b : [k; n] -> [m; n] *)
+  check_rank2 "Tensor.matmul_transpose_a" a;
+  check_rank2 "Tensor.matmul_transpose_a" b;
+  let k = a.shape.(0) and m = a.shape.(1) in
+  let k' = b.shape.(0) and n = b.shape.(1) in
+  if k <> k' then invalid_arg "Tensor.matmul_transpose_a: dimension mismatch";
+  let out = Array.make (m * n) 0.0 in
+  let ad = a.data and bd = b.data in
+  for p = 0 to k - 1 do
+    let arow = p * m and brow = p * n in
+    for i = 0 to m - 1 do
+      let av = Array.unsafe_get ad (arow + i) in
+      if av <> 0.0 then begin
+        let orow = i * n in
+        for j = 0 to n - 1 do
+          Array.unsafe_set out (orow + j)
+            (Array.unsafe_get out (orow + j)
+            +. (av *. Array.unsafe_get bd (brow + j)))
+        done
+      end
+    done
+  done;
+  { shape = [| m; n |]; data = out }
+
+let matmul_transpose_b a b =
+  (* a : [m; k], b : [n; k] -> [m; n] *)
+  check_rank2 "Tensor.matmul_transpose_b" a;
+  check_rank2 "Tensor.matmul_transpose_b" b;
+  let m = a.shape.(0) and k = a.shape.(1) in
+  let n = b.shape.(0) and k' = b.shape.(1) in
+  if k <> k' then invalid_arg "Tensor.matmul_transpose_b: dimension mismatch";
+  let out = Array.make (m * n) 0.0 in
+  let ad = a.data and bd = b.data in
+  for i = 0 to m - 1 do
+    let arow = i * k in
+    let orow = i * n in
+    for j = 0 to n - 1 do
+      let brow = j * k in
+      let acc = ref 0.0 in
+      for p = 0 to k - 1 do
+        acc :=
+          !acc
+          +. (Array.unsafe_get ad (arow + p) *. Array.unsafe_get bd (brow + p))
+      done;
+      Array.unsafe_set out (orow + j) !acc
+    done
+  done;
+  { shape = [| m; n |]; data = out }
+
+let transpose t =
+  check_rank2 "Tensor.transpose" t;
+  let m = t.shape.(0) and n = t.shape.(1) in
+  let out = Array.make (m * n) 0.0 in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      out.((j * m) + i) <- t.data.((i * n) + j)
+    done
+  done;
+  { shape = [| n; m |]; data = out }
+
+let map f t = { shape = Array.copy t.shape; data = Array.map f t.data }
+
+let same_shape a b = a.shape = b.shape
+
+let map2 f a b =
+  if not (same_shape a b) then invalid_arg "Tensor.map2: shape mismatch";
+  {
+    shape = Array.copy a.shape;
+    data = Array.init (numel a) (fun i -> f a.data.(i) b.data.(i));
+  }
+
+let add a b = map2 ( +. ) a b
+let sub a b = map2 ( -. ) a b
+let mul a b = map2 ( *. ) a b
+let scale k t = map (fun x -> k *. x) t
+
+let add_bias x b =
+  check_rank2 "Tensor.add_bias" x;
+  if Array.length b.shape <> 1 || b.shape.(0) <> x.shape.(1) then
+    invalid_arg "Tensor.add_bias: bias shape mismatch";
+  let m = x.shape.(0) and n = x.shape.(1) in
+  let out = Array.make (m * n) 0.0 in
+  for i = 0 to m - 1 do
+    let row = i * n in
+    for j = 0 to n - 1 do
+      out.(row + j) <- x.data.(row + j) +. b.data.(j)
+    done
+  done;
+  { shape = [| m; n |]; data = out }
+
+let sum t = Array.fold_left ( +. ) 0.0 t.data
+let mean t = sum t /. float_of_int (numel t)
+
+let sum_rows t =
+  check_rank2 "Tensor.sum_rows" t;
+  let m = t.shape.(0) and n = t.shape.(1) in
+  let out = Array.make m 0.0 in
+  for i = 0 to m - 1 do
+    let row = i * n in
+    for j = 0 to n - 1 do
+      out.(i) <- out.(i) +. t.data.(row + j)
+    done
+  done;
+  { shape = [| m |]; data = out }
+
+let argmax_row t i =
+  check_rank2 "Tensor.argmax_row" t;
+  let n = t.shape.(1) in
+  let best = ref 0 in
+  for j = 1 to n - 1 do
+    if t.data.((i * n) + j) > t.data.((i * n) + !best) then best := j
+  done;
+  !best
+
+let add_inplace dst src =
+  if not (same_shape dst src) then invalid_arg "Tensor.add_inplace: shape mismatch";
+  for i = 0 to numel dst - 1 do
+    dst.data.(i) <- dst.data.(i) +. src.data.(i)
+  done
+
+let fill_inplace t v =
+  Array.fill t.data 0 (Array.length t.data) v
+
+let scale_inplace t k =
+  for i = 0 to numel t - 1 do
+    t.data.(i) <- t.data.(i) *. k
+  done
+
+let xavier_uniform rng ~fan_in ~fan_out shape =
+  let bound = sqrt (6.0 /. float_of_int (fan_in + fan_out)) in
+  init shape (fun _ -> (Util.Rng.uniform rng *. 2.0 *. bound) -. bound)
+
+let equal a b = same_shape a b && a.data = b.data
+
+let approx_equal ?(tol = 1e-9) a b =
+  same_shape a b
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) a.data b.data
+
+let pp ppf t =
+  Format.fprintf ppf "tensor[%s]"
+    (String.concat "x" (Array.to_list (Array.map string_of_int t.shape)));
+  if numel t <= 16 then begin
+    Format.fprintf ppf " {";
+    Array.iteri
+      (fun i v ->
+        if i > 0 then Format.fprintf ppf ", ";
+        Format.fprintf ppf "%g" v)
+      t.data;
+    Format.fprintf ppf "}"
+  end

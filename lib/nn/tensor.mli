@@ -1,0 +1,87 @@
+(** Dense float tensors (row-major).
+
+    The minimal tensor type the policy networks need: rank-1/rank-2 data,
+    matrix multiplication, broadcasting of a bias vector over rows, and
+    elementwise maps. All operations allocate fresh results; in-place
+    variants used by the optimizer are suffixed [_inplace]. *)
+
+type t = { shape : int array; data : float array }
+
+val create : int array -> float -> t
+(** [create shape v] fills a new tensor with [v]. *)
+
+val zeros : int array -> t
+val ones : int array -> t
+
+val of_array : int array -> float array -> t
+(** Validates that the data length matches the shape product. *)
+
+val init : int array -> (int -> float) -> t
+(** [init shape f] fills index [i] (flat) with [f i]. *)
+
+val scalar : float -> t
+(** Rank-1 singleton. *)
+
+val numel : t -> int
+val dims : t -> int array
+val copy : t -> t
+
+val reshape : int array -> t -> t
+(** Same data, new shape (validated); shares no storage. *)
+
+val get : t -> int -> float
+(** Flat indexing. *)
+
+val set : t -> int -> float -> unit
+
+val get2 : t -> int -> int -> float
+(** [get2 t i j] for rank-2 tensors. *)
+
+val set2 : t -> int -> int -> float -> unit
+
+val matmul : t -> t -> t
+(** [matmul a b] for shapes ([m; k], [k; n]). Raises [Invalid_argument]
+    on rank or dimension mismatch. *)
+
+val matmul_transpose_a : t -> t -> t
+(** [matmul_transpose_a a b] computes [a^T * b] for a of shape [k; m]. *)
+
+val matmul_transpose_b : t -> t -> t
+(** [matmul_transpose_b a b] computes [a * b^T] for b of shape [n; k]. *)
+
+val transpose : t -> t
+(** Rank-2 transpose. *)
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : float -> t -> t
+
+val add_bias : t -> t -> t
+(** [add_bias x b] adds the vector [b] of shape [n] to each row of the
+    rank-2 [x] of shape [m; n]. *)
+
+val sum : t -> float
+val mean : t -> float
+
+val sum_rows : t -> t
+(** [sum_rows x] for [m; n] input returns shape [m] row sums. *)
+
+val argmax_row : t -> int -> int
+(** Index of the max element of row [i] of a rank-2 tensor. *)
+
+val add_inplace : t -> t -> unit
+(** [add_inplace dst src]: dst += src. *)
+
+val fill_inplace : t -> float -> unit
+val scale_inplace : t -> float -> unit
+
+val xavier_uniform : Util.Rng.t -> fan_in:int -> fan_out:int -> int array -> t
+(** Glorot/Xavier uniform initialization. *)
+
+val equal : t -> t -> bool
+val approx_equal : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

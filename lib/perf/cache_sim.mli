@@ -1,0 +1,34 @@
+(** Trace-driven set-associative cache simulator.
+
+    Used to validate the analytical model's locality analysis on small
+    nests: the interpreter replays a nest's exact access stream through a
+    multi-level LRU cache hierarchy, and tests check that the analytical
+    miss counts track the simulated ones (same ordering across schedules,
+    same order of magnitude). *)
+
+type level_stats = {
+  name : string;
+  accesses : int;
+  misses : int;
+}
+
+type t
+(** A cache hierarchy (L1 -> L2 -> L3 -> memory). *)
+
+val create : Machine.t -> t
+(** Build the hierarchy from a machine description. All levels start
+    cold. *)
+
+val access : t -> buf:string -> index:int -> elem_bytes:int -> unit
+(** Replay one element access (load or store — the simulator models a
+    write-allocate cache, so both probe identically). Buffers live in
+    disjoint address regions. *)
+
+val stats : t -> level_stats list
+(** Per-level access/miss counters, outermost (L1) first. *)
+
+val simulate_nest :
+  ?machine:Machine.t -> Loop_nest.t -> (string * level_stats list, string) result
+(** Run a nest through the interpreter with random inputs and replay all
+    accesses; returns the nest name with the final statistics. Intended
+    for small nests (the whole iteration space executes). *)

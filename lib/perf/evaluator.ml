@@ -1,0 +1,62 @@
+type t = {
+  machine : Machine.t;
+  base_cache : (string, float) Hashtbl.t;
+  mutable explored : int;
+  noise : float;
+  noise_rng : Util.Rng.t;
+}
+
+let timeout_factor = 10.0
+
+let create ?(machine = Machine.e5_2680_v4) ?(noise = 0.0) ?(noise_seed = 0) () =
+  {
+    machine;
+    base_cache = Hashtbl.create 64;
+    explored = 0;
+    noise;
+    noise_rng = Util.Rng.create noise_seed;
+  }
+
+let jitter t seconds =
+  if t.noise <= 0.0 then seconds
+  else seconds *. exp (t.noise *. Util.Rng.gaussian t.noise_rng)
+
+let machine t = t.machine
+
+let base_seconds t (op : Linalg.t) =
+  match Hashtbl.find_opt t.base_cache op.Linalg.op_name with
+  | Some s -> s
+  | None ->
+      let nest = Lower.to_loop_nest op in
+      let s =
+        Cost_model.seconds ~machine:t.machine ~iter_kinds:op.Linalg.iter_kinds
+          nest
+      in
+      Hashtbl.add t.base_cache op.Linalg.op_name s;
+      s
+
+let state_seconds t (state : Sched_state.t) =
+  t.explored <- t.explored + 1;
+  jitter t
+    (Cost_model.seconds ~machine:t.machine
+       ~iter_kinds:state.Sched_state.op.Linalg.iter_kinds
+       ~packing_elements:state.Sched_state.packing_elements
+       state.Sched_state.nest)
+
+let measure t state =
+  let base = base_seconds t state.Sched_state.original in
+  let s = state_seconds t state in
+  let cap = timeout_factor *. base in
+  if s > cap then `Timeout cap else `Seconds s
+
+let speedup t state =
+  let base = base_seconds t state.Sched_state.original in
+  match measure t state with
+  | `Seconds s -> base /. s
+  | `Timeout capped -> base /. capped
+
+let schedule_speedup t op sched =
+  Result.map (speedup t) (Sched_state.apply_all op sched)
+
+let explored t = t.explored
+let reset_explored t = t.explored <- 0

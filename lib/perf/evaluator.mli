@@ -1,0 +1,47 @@
+(** Timing oracle over schedule states.
+
+    The environment's stand-in for "compile and run": price a schedule
+    state with the cost model, compute speedups against the untransformed
+    op and enforce the paper's adaptive timeout (10x the base time maps
+    to a capped, penalized measurement). *)
+
+type t
+(** An evaluator bound to a machine; caches base times per op. *)
+
+val create : ?machine:Machine.t -> ?noise:float -> ?noise_seed:int -> unit -> t
+(** Defaults to {!Machine.e5_2680_v4} and noiseless measurements.
+    [noise] adds log-normal multiplicative jitter to every measurement
+    (sigma of the log, e.g. 0.05 for ~5% timing noise) — real machines
+    measure like this, and the paper's training signal carried such
+    noise. Base times stay noiseless so speedups are jittered only
+    through the measurement. *)
+
+val machine : t -> Machine.t
+
+val base_seconds : t -> Linalg.t -> float
+(** Estimated time of the op with no transformation (cached). *)
+
+val state_seconds : t -> Sched_state.t -> float
+(** Estimated time of the current transformed nest, including the im2col
+    packing charge. *)
+
+val timeout_factor : float
+(** The paper's adaptive timeout: measurements above
+    [timeout_factor *. base] are treated as timed out (10.0). *)
+
+val measure : t -> Sched_state.t -> [ `Seconds of float | `Timeout of float ]
+(** [measure t state] is [`Timeout capped] when the estimate exceeds the
+    adaptive timeout, [`Seconds s] otherwise. *)
+
+val speedup : t -> Sched_state.t -> float
+(** [base /. measured], with timeouts evaluated at the cap (so a timeout
+    yields [1. /. timeout_factor]). Always strictly positive. *)
+
+val schedule_speedup : t -> Linalg.t -> Schedule.t -> (float, string) result
+(** Apply a whole schedule and return its speedup. *)
+
+val explored : t -> int
+(** Number of [state_seconds]/[measure] calls so far — the "schedules
+    explored" counter used by the Figure 6 search-efficiency bench. *)
+
+val reset_explored : t -> unit

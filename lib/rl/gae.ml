@@ -1,0 +1,30 @@
+type step = { reward : float; value : float; terminal : bool }
+
+let advantages ~gamma ~lambda steps =
+  let n = Array.length steps in
+  let adv = Array.make n 0.0 in
+  let next_adv = ref 0.0 in
+  let next_value = ref 0.0 in
+  for t = n - 1 downto 0 do
+    let s = steps.(t) in
+    let mask = if s.terminal then 0.0 else 1.0 in
+    let delta = s.reward +. (gamma *. !next_value *. mask) -. s.value in
+    adv.(t) <- delta +. (gamma *. lambda *. mask *. !next_adv);
+    next_adv := adv.(t);
+    next_value := s.value
+  done;
+  let returns = Array.mapi (fun t a -> a +. steps.(t).value) adv in
+  (adv, returns)
+
+let normalize xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let mean = Array.fold_left ( +. ) 0.0 xs /. float_of_int n in
+    let var =
+      Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs
+      /. float_of_int n
+    in
+    let std = Float.max (sqrt var) 1e-8 in
+    Array.map (fun x -> (x -. mean) /. std) xs
+  end

@@ -1,0 +1,17 @@
+(** Generalized Advantage Estimation (Schulman et al., 2016).
+
+    Computes advantages and value targets over a flat sequence of steps
+    that may contain several episodes (separated by [terminal] flags).
+    The sequence is assumed to end at an episode boundary, as the
+    trainer always completes episodes before updating. *)
+
+type step = { reward : float; value : float; terminal : bool }
+
+val advantages :
+  gamma:float -> lambda:float -> step array -> float array * float array
+(** [advantages ~gamma ~lambda steps] returns [(advantages, returns)]
+    where [returns.(t) = advantages.(t) +. steps.(t).value]. *)
+
+val normalize : float array -> float array
+(** Standardize to zero mean / unit std (std floored at 1e-8). Returns a
+    fresh array; empty input yields an empty array. *)

@@ -1,0 +1,155 @@
+type config = {
+  learning_rate : float;
+  clip_range : float;
+  gamma : float;
+  gae_lambda : float;
+  batch_size : int;
+  minibatch_size : int;
+  epochs : int;
+  value_coef : float;
+  entropy_coef : float;
+  max_grad_norm : float;
+}
+
+let default_config =
+  {
+    learning_rate = 1e-3;
+    clip_range = 0.2;
+    gamma = 0.99;
+    gae_lambda = 0.95;
+    batch_size = 64;
+    minibatch_size = 64;
+    epochs = 4;
+    value_coef = 0.5;
+    entropy_coef = 0.01;
+    max_grad_norm = 0.5;
+  }
+
+type evaluation = {
+  log_prob : Autodiff.node;
+  entropy : Autodiff.node;
+  value : Autodiff.node;
+}
+
+type 'sample policy = {
+  evaluate : Autodiff.Tape.t -> 'sample array -> evaluation;
+  params : Autodiff.Param.t list;
+}
+
+type 'sample transition = {
+  sample : 'sample;
+  reward : float;
+  value : float;
+  log_prob : float;
+  terminal : bool;
+}
+
+type stats = {
+  policy_loss : float;
+  value_loss : float;
+  entropy_mean : float;
+  approx_kl : float;
+  clip_fraction : float;
+  grad_norm : float;
+}
+
+let update config policy optimizer transitions ~rng =
+  let n = Array.length transitions in
+  if n = 0 then invalid_arg "Ppo.update: empty batch";
+  let gae_steps =
+    Array.map
+      (fun (t : _ transition) ->
+        { Gae.reward = t.reward; value = t.value; terminal = t.terminal })
+      transitions
+  in
+  let advantages, returns =
+    Gae.advantages ~gamma:config.gamma ~lambda:config.gae_lambda gae_steps
+  in
+  let advantages = Gae.normalize advantages in
+  let indices = Array.init n (fun i -> i) in
+  let stat_policy = ref 0.0
+  and stat_value = ref 0.0
+  and stat_entropy = ref 0.0
+  and stat_kl = ref 0.0
+  and stat_clip = ref 0.0
+  and stat_gnorm = ref 0.0
+  and stat_count = ref 0 in
+  for _epoch = 1 to config.epochs do
+    Util.Rng.shuffle rng indices;
+    let pos = ref 0 in
+    while !pos < n do
+      let size = min config.minibatch_size (n - !pos) in
+      let batch_idx = Array.sub indices !pos size in
+      pos := !pos + size;
+      let samples =
+        Array.map (fun i -> transitions.(i).sample) batch_idx
+      in
+      let old_logp =
+        Tensor.of_array [| size |]
+          (Array.map (fun i -> transitions.(i).log_prob) batch_idx)
+      in
+      let adv =
+        Tensor.of_array [| size |]
+          (Array.map (fun i -> advantages.(i)) batch_idx)
+      in
+      let ret =
+        Tensor.of_array [| size |]
+          (Array.map (fun i -> returns.(i)) batch_idx)
+      in
+      let tape = Autodiff.Tape.create () in
+      let ev = policy.evaluate tape samples in
+      (* ratio = exp(logp - old_logp) *)
+      let diff = Autodiff.sub tape ev.log_prob (Autodiff.const tape old_logp) in
+      let ratio = Autodiff.exp_ tape diff in
+      let adv_node = Autodiff.const tape adv in
+      let unclipped = Autodiff.mul tape ratio adv_node in
+      let clipped =
+        Autodiff.mul tape
+          (Autodiff.clamp tape ~lo:(1.0 -. config.clip_range)
+             ~hi:(1.0 +. config.clip_range) ratio)
+          adv_node
+      in
+      let surrogate = Autodiff.min_ tape unclipped clipped in
+      let policy_loss =
+        Autodiff.neg tape (Autodiff.mean_all tape surrogate)
+      in
+      let value_err = Autodiff.sub tape ev.value (Autodiff.const tape ret) in
+      let value_loss = Autodiff.mean_all tape (Autodiff.square tape value_err) in
+      let entropy_mean = Autodiff.mean_all tape ev.entropy in
+      let loss =
+        Autodiff.sub tape
+          (Autodiff.add tape policy_loss
+             (Autodiff.scale tape config.value_coef value_loss))
+          (Autodiff.scale tape config.entropy_coef entropy_mean)
+      in
+      Optim.zero_grad optimizer;
+      Autodiff.backward tape loss;
+      let gnorm = Optim.clip_grad_norm optimizer config.max_grad_norm in
+      Optim.step optimizer;
+      (* statistics *)
+      let ratio_v = Autodiff.value ratio in
+      let kl = ref 0.0 and clipfrac = ref 0 in
+      for i = 0 to size - 1 do
+        let r = Tensor.get ratio_v i in
+        (* approx KL: (r - 1) - log r *)
+        kl := !kl +. (r -. 1.0 -. log (Float.max r 1e-12));
+        if Float.abs (r -. 1.0) > config.clip_range then incr clipfrac
+      done;
+      stat_policy := !stat_policy +. Tensor.get (Autodiff.value policy_loss) 0;
+      stat_value := !stat_value +. Tensor.get (Autodiff.value value_loss) 0;
+      stat_entropy := !stat_entropy +. Tensor.get (Autodiff.value entropy_mean) 0;
+      stat_kl := !stat_kl +. (!kl /. float_of_int size);
+      stat_clip := !stat_clip +. (float_of_int !clipfrac /. float_of_int size);
+      stat_gnorm := !stat_gnorm +. gnorm;
+      incr stat_count
+    done
+  done;
+  let c = float_of_int (max 1 !stat_count) in
+  {
+    policy_loss = !stat_policy /. c;
+    value_loss = !stat_value /. c;
+    entropy_mean = !stat_entropy /. c;
+    approx_kl = !stat_kl /. c;
+    clip_fraction = !stat_clip /. c;
+    grad_norm = !stat_gnorm /. c;
+  }

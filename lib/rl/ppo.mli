@@ -1,0 +1,62 @@
+(** Proximal Policy Optimization (clipped surrogate objective).
+
+    Generic over the sample type: the environment-specific policy plugs
+    in through {!type-policy}, which must re-evaluate stored samples
+    differentiably. Hyperparameter defaults follow the paper (§5.1.3):
+    lr 1e-3, clip 0.2, gamma 0.99, GAE lambda 0.95, batch 64, 4 epochs,
+    value coefficient 0.5, entropy coefficient 0.01. *)
+
+type config = {
+  learning_rate : float;
+  clip_range : float;
+  gamma : float;
+  gae_lambda : float;
+  batch_size : int;  (** steps collected per iteration *)
+  minibatch_size : int;
+  epochs : int;  (** passes over the batch per iteration *)
+  value_coef : float;
+  entropy_coef : float;
+  max_grad_norm : float;
+}
+
+val default_config : config
+
+type evaluation = {
+  log_prob : Autodiff.node;  (** \[batch\] log pi(a|s) of stored actions *)
+  entropy : Autodiff.node;  (** \[batch\] policy entropy at s *)
+  value : Autodiff.node;  (** \[batch\] state-value estimates *)
+}
+
+type 'sample policy = {
+  evaluate : Autodiff.Tape.t -> 'sample array -> evaluation;
+  params : Autodiff.Param.t list;
+}
+
+type 'sample transition = {
+  sample : 'sample;  (** whatever the policy needs: obs, action, masks *)
+  reward : float;
+  value : float;  (** V(s) at collection time *)
+  log_prob : float;  (** log pi(a|s) at collection time *)
+  terminal : bool;
+}
+
+type stats = {
+  policy_loss : float;
+  value_loss : float;
+  entropy_mean : float;
+  approx_kl : float;
+  clip_fraction : float;
+  grad_norm : float;
+}
+
+val update :
+  config ->
+  'sample policy ->
+  Optim.t ->
+  'sample transition array ->
+  rng:Util.Rng.t ->
+  stats
+(** One PPO iteration over a collected batch: computes GAE advantages
+    (normalized), then runs [epochs] passes of minibatch updates with the
+    clipped surrogate, value MSE and entropy bonus. Returns averaged
+    statistics. *)

@@ -1,0 +1,202 @@
+let divisors n =
+  if n <= 0 then invalid_arg "Loop_transforms.divisors: non-positive";
+  let rec go d acc =
+    if d > n then List.rev acc
+    else go (d + 1) (if n mod d = 0 then d :: acc else acc)
+  in
+  go 1 []
+
+let point_band_start (nest : Loop_nest.t) =
+  let n = Array.length nest.loops in
+  let seen = Hashtbl.create 8 in
+  let rec scan i =
+    if i < 0 then 0
+    else
+      let origin = nest.loops.(i).Loop_nest.origin in
+      if Hashtbl.mem seen origin then i + 1
+      else begin
+        Hashtbl.add seen origin ();
+        scan (i - 1)
+      end
+  in
+  scan (n - 1)
+
+let point_band (nest : Loop_nest.t) =
+  let p0 = point_band_start nest in
+  Array.sub nest.loops p0 (Array.length nest.loops - p0)
+
+let dim_expr n_dims d = Affine.dim n_dims d
+
+let tile ?(parallel = false) sizes (nest : Loop_nest.t) =
+  let n = Array.length nest.loops in
+  let p0 = point_band_start nest in
+  let point_count = n - p0 in
+  if Array.length sizes <> point_count then
+    Error
+      (Printf.sprintf "tile: %d sizes for a %d-loop point band"
+         (Array.length sizes) point_count)
+  else if not (Array.exists (fun t -> t > 0) sizes) then
+    Error "tile: at least one tile size must be positive"
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun rel t ->
+        if t > 0 then begin
+          let ub = nest.loops.(p0 + rel).Loop_nest.ub in
+          if t > ub || ub mod t <> 0 then
+            bad :=
+              Some
+                (Printf.sprintf "tile: size %d does not divide trip count %d"
+                   t ub)
+        end
+        else if t < 0 then bad := Some "tile: negative tile size")
+      sizes;
+    match !bad with
+    | Some msg -> Error msg
+    | None ->
+        let tiled_rels =
+          List.filter (fun rel -> sizes.(rel) > 0)
+            (List.init point_count (fun i -> i))
+        in
+        let k = List.length tiled_rels in
+        let new_n = n + k in
+        let tile_band =
+          List.map
+            (fun rel ->
+              let l = nest.loops.(p0 + rel) in
+              {
+                Loop_nest.ub = l.Loop_nest.ub / sizes.(rel);
+                kind = (if parallel then Loop_nest.Parallel else Loop_nest.Seq);
+                origin = l.Loop_nest.origin;
+              })
+            tiled_rels
+        in
+        let new_point =
+          Array.init point_count (fun rel ->
+              let l = nest.loops.(p0 + rel) in
+              if sizes.(rel) > 0 then { l with Loop_nest.ub = sizes.(rel) }
+              else l)
+        in
+        let new_loops =
+          Array.concat
+            [ Array.sub nest.loops 0 p0; Array.of_list tile_band; new_point ]
+        in
+        (* Rank of each tiled rel within the tile band. *)
+        let tile_rank = Hashtbl.create 8 in
+        List.iteri (fun r rel -> Hashtbl.add tile_rank rel r) tiled_rels;
+        let subst =
+          Array.init n (fun j ->
+              if j < p0 then dim_expr new_n j
+              else
+                let rel = j - p0 in
+                let point_pos = p0 + k + rel in
+                match Hashtbl.find_opt tile_rank rel with
+                | None -> dim_expr new_n point_pos
+                | Some r ->
+                    Affine.add_expr
+                      (Affine.scale sizes.(rel) (dim_expr new_n (p0 + r)))
+                      (dim_expr new_n point_pos))
+        in
+        let nest' =
+          Loop_nest.map_body_exprs
+            (fun e -> Affine.substitute e subst)
+            { nest with Loop_nest.loops = new_loops }
+        in
+        Ok nest'
+  end
+
+let is_permutation perm =
+  let n = Array.length perm in
+  let seen = Array.make n false in
+  Array.for_all
+    (fun p ->
+      if p < 0 || p >= n || seen.(p) then false
+      else begin
+        seen.(p) <- true;
+        true
+      end)
+    perm
+
+let interchange perm (nest : Loop_nest.t) =
+  let n = Array.length nest.loops in
+  let p0 = point_band_start nest in
+  let point_count = n - p0 in
+  if Array.length perm <> point_count then
+    Error
+      (Printf.sprintf "interchange: permutation of arity %d for a %d-loop band"
+         (Array.length perm) point_count)
+  else if not (is_permutation perm) then
+    Error "interchange: not a permutation"
+  else begin
+    let full = Array.init n (fun i -> if i < p0 then i else p0 + perm.(i - p0)) in
+    let inv = Array.make n 0 in
+    Array.iteri (fun i j -> inv.(j) <- i) full;
+    let new_loops = Array.init n (fun i -> nest.loops.(full.(i))) in
+    let subst = Array.init n (fun j -> dim_expr n inv.(j)) in
+    Ok
+      (Loop_nest.map_body_exprs
+         (fun e -> Affine.substitute e subst)
+         { nest with Loop_nest.loops = new_loops })
+  end
+
+let swap_adjacent i (nest : Loop_nest.t) =
+  let point_count = Array.length nest.loops - point_band_start nest in
+  if i < 0 || i >= point_count - 1 then
+    Error (Printf.sprintf "swap_adjacent: index %d out of range" i)
+  else begin
+    let perm = Array.init point_count (fun j -> j) in
+    perm.(i) <- i + 1;
+    perm.(i + 1) <- i;
+    interchange perm nest
+  end
+
+let is_vectorized (nest : Loop_nest.t) =
+  let n = Array.length nest.loops in
+  n > 0 && nest.loops.(n - 1).Loop_nest.kind = Loop_nest.Vector
+
+let has_parallel_band (nest : Loop_nest.t) =
+  Array.exists (fun l -> l.Loop_nest.kind = Loop_nest.Parallel) nest.loops
+
+let unroll factor (nest : Loop_nest.t) =
+  let n = Array.length nest.loops in
+  if n = 0 then Error "unroll: nest has no loops"
+  else if is_vectorized nest then Error "unroll: nest is already vectorized"
+  else if factor < 2 then Error "unroll: factor must be at least 2"
+  else begin
+    let inner = nest.loops.(n - 1) in
+    if inner.Loop_nest.ub mod factor <> 0 then
+      Error
+        (Printf.sprintf "unroll: factor %d does not divide trip count %d"
+           factor inner.Loop_nest.ub)
+    else begin
+      let new_loops = Array.copy nest.loops in
+      new_loops.(n - 1) <- { inner with Loop_nest.ub = inner.Loop_nest.ub / factor };
+      (* Innermost variable i becomes factor*i + offset in copy [offset]. *)
+      let shifted offset =
+        let subst =
+          Array.init n (fun d ->
+              if d = n - 1 then
+                Affine.expr ~const:offset n [ (n - 1, factor) ]
+              else Affine.dim n d)
+        in
+        Loop_nest.map_body_exprs (fun e -> Affine.substitute e subst) nest
+      in
+      let body =
+        List.concat_map
+          (fun offset -> (shifted offset).Loop_nest.body)
+          (List.init factor (fun o -> o))
+      in
+      Ok { nest with Loop_nest.loops = new_loops; body }
+    end
+  end
+
+let vectorize (nest : Loop_nest.t) =
+  let n = Array.length nest.loops in
+  if n = 0 then Error "vectorize: nest has no loops"
+  else if is_vectorized nest then Error "vectorize: already vectorized"
+  else begin
+    let new_loops = Array.copy nest.loops in
+    new_loops.(n - 1) <-
+      { (new_loops.(n - 1)) with Loop_nest.kind = Loop_nest.Vector };
+    Ok { nest with Loop_nest.loops = new_loops }
+  end

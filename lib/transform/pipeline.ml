@@ -1,0 +1,96 @@
+type stage = { stage_name : string; op : Linalg.t }
+type t = stage list
+
+let output_shape (op : Linalg.t) = op.Linalg.output.Linalg.shape
+
+let first_input_shape (op : Linalg.t) =
+  if Array.length op.Linalg.inputs = 0 then None
+  else Some op.Linalg.inputs.(0).Linalg.shape
+
+let validate pipeline =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let rec go = function
+    | [] | [ _ ] -> Ok ()
+    | a :: (b :: _ as rest) -> (
+        match first_input_shape b.op with
+        | None -> err "stage %s has no inputs to chain into" b.stage_name
+        | Some shape ->
+            if shape <> output_shape a.op then
+              err "stage %s output does not feed stage %s input" a.stage_name
+                b.stage_name
+            else go rest)
+  in
+  match pipeline with [] -> Error "empty pipeline" | _ -> go pipeline
+
+let fuse_elementwise pipeline =
+  let rec pass = function
+    | a :: b :: rest -> (
+        match Fusion.fuse ~producer:a.op ~consumer:b.op ~consumer_input:0 with
+        | Ok fused ->
+            let merged =
+              { stage_name = a.stage_name ^ "+" ^ b.stage_name; op = fused }
+            in
+            (* try to keep fusing the merged stage forward *)
+            pass (merged :: rest)
+        | Error _ -> a :: pass (b :: rest))
+    | stages -> stages
+  in
+  pass pipeline
+
+type scheduled_stage = {
+  stage : stage;
+  schedule : Schedule.t;
+  base_seconds : float;
+  scheduled_seconds : float;
+}
+
+type report = {
+  stages : scheduled_stage list;
+  total_base : float;
+  total_scheduled : float;
+}
+
+let schedule ~base_seconds ~scheduler pipeline =
+  let stages =
+    List.map
+      (fun stage ->
+        let sched, speedup = scheduler stage.op in
+        let base = base_seconds stage.op in
+        {
+          stage;
+          schedule = sched;
+          base_seconds = base;
+          scheduled_seconds = base /. Float.max speedup 1e-12;
+        })
+      pipeline
+  in
+  {
+    stages;
+    total_base = List.fold_left (fun acc s -> acc +. s.base_seconds) 0.0 stages;
+    total_scheduled =
+      List.fold_left (fun acc s -> acc +. s.scheduled_seconds) 0.0 stages;
+  }
+
+let execute_reference pipeline ~first_input ~extra_inputs =
+  match pipeline with
+  | [] -> invalid_arg "Pipeline.execute_reference: empty pipeline"
+  | _ ->
+      List.fold_left
+        (fun carried stage ->
+          let op = stage.op in
+          let bindings =
+            Array.to_list
+              (Array.mapi
+                 (fun i (o : Linalg.operand) ->
+                   if i = 0 then (o.Linalg.name, carried)
+                   else
+                     let key = stage.stage_name ^ "/" ^ o.Linalg.name in
+                     match List.assoc_opt key extra_inputs with
+                     | Some buf -> (o.Linalg.name, buf)
+                     | None ->
+                         invalid_arg
+                           ("Pipeline.execute_reference: missing input " ^ key))
+                 op.Linalg.inputs)
+          in
+          Linalg.execute_reference op bindings)
+        first_input pipeline

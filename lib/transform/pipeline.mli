@@ -1,0 +1,51 @@
+(** Linear operator pipelines.
+
+    A pipeline is a chain of structured ops where each stage's first
+    input is the previous stage's output — the shape of the per-layer
+    workloads the paper's introduction motivates (conv / bias / relu /
+    pool / dense chains). This module provides greedy elementwise fusion
+    over such chains ({!Fusion}) and whole-pipeline scheduling with any
+    per-op scheduler. *)
+
+type stage = { stage_name : string; op : Linalg.t }
+type t = stage list
+
+val validate : t -> (unit, string) result
+(** Checks the chaining invariant: every stage after the first has a
+    first input whose shape equals the previous stage's output shape. *)
+
+val fuse_elementwise : t -> t
+(** Greedily fuse each elementwise stage into its successor whenever
+    {!Fusion.fuse} accepts the pair (the producer must be a pure map;
+    the consumer may be anything, including reductions). Runs to a fixed
+    point; stage names are joined with ["+"]. *)
+
+type scheduled_stage = {
+  stage : stage;
+  schedule : Schedule.t;
+  base_seconds : float;
+  scheduled_seconds : float;
+}
+
+type report = {
+  stages : scheduled_stage list;
+  total_base : float;
+  total_scheduled : float;
+}
+
+val schedule :
+  base_seconds:(Linalg.t -> float) ->
+  scheduler:(Linalg.t -> Schedule.t * float) ->
+  t ->
+  report
+(** Schedule every stage with the given per-op scheduler (returning a
+    schedule and its speedup over base) and total the estimated times;
+    [base_seconds] is typically [Evaluator.base_seconds ev]. *)
+
+val execute_reference :
+  t -> first_input:float array -> extra_inputs:(string * float array) list ->
+  float array
+(** Run the whole chain sequentially with the reference interpreter:
+    stage [i]'s first input is stage [i-1]'s output; other inputs are
+    looked up in [extra_inputs] under ["<stage_name>/<operand_name>"].
+    Ground truth for the fusion tests. *)

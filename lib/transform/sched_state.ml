@@ -1,0 +1,108 @@
+type t = {
+  original : Linalg.t;
+  op : Linalg.t;
+  nest : Loop_nest.t;
+  applied : Schedule.t;
+  packing_elements : int;
+  parallelized : bool;
+  vectorized : bool;
+}
+
+let init op =
+  {
+    original = op;
+    op;
+    nest = Lower.to_loop_nest op;
+    applied = [];
+    packing_elements = 0;
+    parallelized = false;
+    vectorized = false;
+  }
+
+let n_point_loops state = Linalg.n_loops state.op
+
+let point_trip_counts state =
+  Array.map (fun l -> l.Loop_nest.ub) (Loop_transforms.point_band state.nest)
+
+let can_tile state = not state.vectorized
+let can_interchange state = not state.vectorized && n_point_loops state >= 2
+let can_parallelize state = (not state.vectorized) && not state.parallelized
+let can_vectorize state = not state.vectorized
+
+let can_im2col state =
+  (not state.vectorized) && Linalg.is_conv state.op && state.applied = []
+
+let is_done state = state.vectorized
+
+let record state tr nest =
+  { state with nest; applied = state.applied @ [ tr ] }
+
+(* Point loops whose op dim is a reduction cannot run in parallel: that
+   would race on the accumulator (MLIR's tile_using_forall rejects it). *)
+let parallelizable_loop state l =
+  let band = Loop_transforms.point_band state.nest in
+  l < Array.length band
+  &&
+  let origin = band.(l).Loop_nest.origin in
+  origin < Array.length state.op.Linalg.iter_kinds
+  && state.op.Linalg.iter_kinds.(origin) = Linalg.Parallel_iter
+
+let apply state (tr : Schedule.transformation) =
+  if state.vectorized then Error "schedule already ended by vectorization"
+  else
+    match tr with
+    | Schedule.Tile sizes ->
+        Result.map (record state tr) (Loop_transforms.tile sizes state.nest)
+    | Schedule.Parallelize sizes ->
+        if state.parallelized then
+          Error "parallelization may be used only once per schedule"
+        else if
+          Array.exists
+            (fun l -> sizes.(l) > 0 && not (parallelizable_loop state l))
+            (Array.init (Array.length sizes) (fun l -> l))
+        then Error "cannot parallelize a reduction dimension"
+        else
+          Result.map
+            (fun nest -> { (record state tr nest) with parallelized = true })
+            (Loop_transforms.tile ~parallel:true sizes state.nest)
+    | Schedule.Interchange perm ->
+        Result.map (record state tr)
+          (Loop_transforms.interchange perm state.nest)
+    | Schedule.Swap i ->
+        Result.map (record state tr) (Loop_transforms.swap_adjacent i state.nest)
+    | Schedule.Vectorize ->
+        Result.map
+          (fun nest -> { (record state tr nest) with vectorized = true })
+          (Loop_transforms.vectorize state.nest)
+    | Schedule.Unroll factor ->
+        Result.map (record state tr) (Loop_transforms.unroll factor state.nest)
+    | Schedule.Im2col -> (
+        if not (can_im2col state) then
+          Error
+            (if Linalg.is_conv state.op then
+               "im2col must be the first transformation"
+             else "im2col only applies to convolutions")
+        else
+          match Im2col.rewrite state.op with
+          | Error _ as e -> e
+          | Ok (gemm, `Packing_elements elems) ->
+              Ok
+                {
+                  state with
+                  op = gemm;
+                  nest = Lower.to_loop_nest gemm;
+                  applied = state.applied @ [ tr ];
+                  packing_elements = elems;
+                })
+
+let apply_all op sched =
+  List.fold_left
+    (fun acc tr -> Result.bind acc (fun state -> apply state tr))
+    (Ok (init op)) sched
+
+let valid_tile_sizes state ~menu =
+  let trips = point_trip_counts state in
+  Array.map
+    (fun trip ->
+      Array.map (fun size -> size = 0 || (size <= trip && trip mod size = 0)) menu)
+    trips

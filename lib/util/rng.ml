@@ -1,0 +1,68 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let seed = int64 t in
+  { state = seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the value fits OCaml's 63-bit native int positively. *)
+  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  r mod bound
+
+let uniform t =
+  (* 53 random bits mapped to [0, 1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (int64 t) 11) in
+  float_of_int bits *. (1.0 /. 9007199254740992.0)
+
+let float t bound = uniform t *. bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let gaussian t =
+  let rec draw () =
+    let u1 = uniform t in
+    if u1 <= 1e-12 then draw () else u1
+  in
+  let u1 = draw () in
+  let u2 = uniform t in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let choice t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.choice: empty array";
+  arr.(int t (Array.length arr))
+
+let choice_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.choice_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample_without_replacement t k arr =
+  if k > Array.length arr then
+    invalid_arg "Rng.sample_without_replacement: k too large";
+  let pool = Array.copy arr in
+  shuffle t pool;
+  Array.sub pool 0 k

@@ -1,0 +1,51 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, splittable generator (splitmix64) used everywhere in the
+    project instead of [Stdlib.Random] so that dataset generation, agent
+    initialization and exploration are reproducible from a single seed. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. Two
+    generators created from the same seed produce identical streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t]. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state without advancing [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound). Raises
+    [Invalid_argument] if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val uniform : t -> float
+(** Uniform draw in [0, 1). *)
+
+val bool : t -> bool
+(** Fair coin flip. *)
+
+val gaussian : t -> float
+(** Standard normal draw (Box-Muller). *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform draw from a non-empty array. Raises [Invalid_argument] on an
+    empty array. *)
+
+val choice_list : t -> 'a list -> 'a
+(** Uniform draw from a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> 'a array -> 'a array
+(** [sample_without_replacement t k arr] picks [k] distinct elements.
+    Raises [Invalid_argument] if [k > Array.length arr]. *)

@@ -1,0 +1,34 @@
+let () =
+  Alcotest.run "mlir-rl"
+    [
+      ("util", Test_util.suite);
+      ("affine", Test_affine.suite);
+      ("linalg", Test_linalg.suite);
+      ("loop-nest", Test_loop_nest.suite);
+      ("transforms", Test_transforms.suite);
+      ("im2col", Test_im2col.suite);
+      ("schedule", Test_schedule.suite);
+      ("sched-state", Test_sched_state.suite);
+      ("perf", Test_perf.suite);
+      ("nn", Test_nn.suite);
+      ("rl", Test_rl.suite);
+      ("env", Test_env.suite);
+      ("policy", Test_policy.suite);
+      ("autosched", Test_autosched.suite);
+      ("baselines+dataset", Test_baselines_dataset.suite);
+      ("unroll", Test_unroll.suite);
+      ("serialize", Test_serialize.suite);
+      ("op-spec", Test_op_spec.suite);
+      ("learned-cost", Test_learned_cost.suite);
+      ("extended-ops", Test_extended_ops.suite);
+      ("beam-search", Test_beam.suite);
+      ("fusion", Test_fusion.suite);
+      ("machines", Test_machines.suite);
+      ("env-extra", Test_env_extra.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("noise", Test_noise.suite);
+      ("features", Test_features.suite);
+      ("layout", Test_layout.suite);
+      ("misc", Test_misc.suite);
+      ("integration", Test_integration.suite);
+    ]

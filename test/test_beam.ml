@@ -1,0 +1,101 @@
+(* Beam-search auto-scheduler. *)
+
+let ev () = Evaluator.create ()
+
+let test_beam_beats_trivial () =
+  let e = ev () in
+  let op = Linalg.matmul ~m:256 ~n:256 ~k:256 () in
+  let trivial = Result.get_ok (Evaluator.schedule_speedup e op [ Schedule.Vectorize ]) in
+  let r = Beam_search.search e op in
+  Alcotest.(check bool) "improves" true (r.Beam_search.best_speedup > trivial)
+
+let test_beam_schedule_applies () =
+  let e = ev () in
+  List.iter
+    (fun op ->
+      let r = Beam_search.search e op in
+      (match List.rev r.Beam_search.best_schedule with
+      | Schedule.Vectorize :: _ -> ()
+      | _ -> Alcotest.fail "must end with vectorize");
+      match Sched_state.apply_all op r.Beam_search.best_schedule with
+      | Ok st ->
+          let measured = Evaluator.speedup e st in
+          Alcotest.(check (float 1e-6)) "reported speedup is real"
+            r.Beam_search.best_speedup measured
+      | Error msg -> Alcotest.fail msg)
+    [
+      Linalg.matmul ~m:256 ~n:256 ~k:256 ();
+      Test_helpers.small_conv ();
+      Test_helpers.small_maxpool ();
+      Linalg.add [| 256; 256 |];
+    ]
+
+let test_beam_deterministic () =
+  let op = Linalg.matmul ~m:512 ~n:512 ~k:512 () in
+  let r1 = Beam_search.search (ev ()) op in
+  let r2 = Beam_search.search (ev ()) op in
+  Alcotest.(check (float 1e-12)) "same result" r1.Beam_search.best_speedup
+    r2.Beam_search.best_speedup;
+  Alcotest.(check int) "same exploration" r1.Beam_search.explored
+    r2.Beam_search.explored
+
+let test_beam_width_monotone_budget () =
+  (* A wider beam explores at least as many states. *)
+  let op = Linalg.matmul ~m:512 ~n:512 ~k:512 () in
+  let run width =
+    Beam_search.search
+      ~config:{ Beam_search.default_config with Beam_search.beam_width = width }
+      (ev ()) op
+  in
+  let narrow = run 2 and wide = run 12 in
+  Alcotest.(check bool) "wide explores more" true
+    (wide.Beam_search.explored >= narrow.Beam_search.explored);
+  Alcotest.(check bool) "wide at least as good" true
+    (wide.Beam_search.best_speedup >= narrow.Beam_search.best_speedup *. 0.999)
+
+let test_beam_depth_one_is_greedy () =
+  let op = Linalg.matmul ~m:256 ~n:256 ~k:256 () in
+  let r =
+    Beam_search.search
+      ~config:{ Beam_search.default_config with Beam_search.max_depth = 1 }
+      (ev ()) op
+  in
+  (* Depth 1 cannot expand anything: only the root's virtual vectorize. *)
+  Alcotest.(check (list string)) "vectorize only"
+    [ "vectorization" ]
+    (List.map Schedule.transformation_name r.Beam_search.best_schedule)
+
+let test_beam_efficient_vs_exhaustive () =
+  (* At an equal evaluation budget the guided search should not lose
+     badly to random exhaustive exploration on a conv. *)
+  let e = ev () in
+  let op =
+    Linalg.conv2d
+      { Linalg.batch = 1; in_h = 28; in_w = 28; channels = 32; kernel_h = 3;
+        kernel_w = 3; filters = 64; stride = 1 }
+  in
+  let b = Beam_search.search e op in
+  let a =
+    Auto_scheduler.search
+      ~config:
+        {
+          Auto_scheduler.default_config with
+          Auto_scheduler.max_schedules = b.Beam_search.explored;
+        }
+      e op
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "beam %.0f vs exhaustive %.0f" b.Beam_search.best_speedup
+       a.Auto_scheduler.best_speedup)
+    true
+    (b.Beam_search.best_speedup >= 0.5 *. a.Auto_scheduler.best_speedup)
+
+let suite =
+  [
+    Alcotest.test_case "beats trivial" `Quick test_beam_beats_trivial;
+    Alcotest.test_case "schedules apply" `Quick test_beam_schedule_applies;
+    Alcotest.test_case "deterministic" `Quick test_beam_deterministic;
+    Alcotest.test_case "width monotone" `Quick test_beam_width_monotone_budget;
+    Alcotest.test_case "depth one is greedy" `Quick test_beam_depth_one_is_greedy;
+    Alcotest.test_case "efficient vs exhaustive" `Quick test_beam_efficient_vs_exhaustive;
+  ]

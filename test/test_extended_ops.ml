@@ -1,0 +1,207 @@
+(* The extended op family (beyond the paper's five benchmark kinds):
+   batch matmul, depthwise conv, average pooling, elementwise family. *)
+
+let test_batch_matmul_reference () =
+  (* Batch of two 2x2 products. *)
+  let op = Linalg.batch_matmul ~b:2 ~m:2 ~n:2 ~k:2 () in
+  Alcotest.(check int) "four loops" 4 (Linalg.n_loops op);
+  let a = [| 1.; 2.; 3.; 4.; 1.; 0.; 0.; 1. |] in
+  let b = [| 5.; 6.; 7.; 8.; 9.; 10.; 11.; 12. |] in
+  let c = Linalg.execute_reference op [ ("A", a); ("B", b) ] in
+  Alcotest.(check (array (float 1e-9))) "products"
+    [| 19.; 22.; 43.; 50.; 9.; 10.; 11.; 12. |]
+    c
+
+let test_batch_matmul_schedule_preserves () =
+  Test_helpers.check_schedule_preserves (Linalg.batch_matmul ~b:2 ~m:4 ~n:6 ~k:8 ())
+    [ Schedule.Parallelize [| 2; 2; 0; 0 |]; Schedule.Tile [| 0; 2; 3; 4 |];
+      Schedule.Swap 2; Schedule.Vectorize ]
+
+let test_depthwise_conv_reference () =
+  (* 1x3x3x2 input, 3x3 kernel of ones per channel: output = per-channel
+     window sums. *)
+  let op =
+    Linalg.depthwise_conv2d
+      { Linalg.batch = 1; in_h = 3; in_w = 3; channels = 2; kernel_h = 3;
+        kernel_w = 3; filters = 1; stride = 1 }
+  in
+  Alcotest.(check int) "six loops" 6 (Linalg.n_loops op);
+  let input = Array.init 18 (fun i -> if i mod 2 = 0 then 1.0 else 2.0) in
+  let filter = Array.make 18 1.0 in
+  let out = Linalg.execute_reference op [ ("input", input); ("filter", filter) ] in
+  Alcotest.(check (array (float 1e-9))) "channel sums" [| 9.0; 18.0 |] out
+
+let test_depthwise_conv_schedule_preserves () =
+  let op =
+    Linalg.depthwise_conv2d
+      { Linalg.batch = 1; in_h = 6; in_w = 6; channels = 4; kernel_h = 3;
+        kernel_w = 3; filters = 1; stride = 1 }
+  in
+  Test_helpers.check_schedule_preserves op
+    [ Schedule.Tile [| 0; 2; 2; 2; 0; 0 |]; Schedule.Vectorize ]
+
+let test_depthwise_not_im2col () =
+  let op =
+    Linalg.depthwise_conv2d
+      { Linalg.batch = 1; in_h = 4; in_w = 4; channels = 2; kernel_h = 2;
+        kernel_w = 2; filters = 1; stride = 2 }
+  in
+  Alcotest.(check bool) "no im2col" false (Linalg.is_conv op);
+  Alcotest.(check bool) "mask excludes" false
+    (Sched_state.can_im2col (Sched_state.init op))
+
+let test_avgpool_reference () =
+  let op =
+    Linalg.avgpool
+      { Linalg.p_batch = 1; p_in_h = 4; p_in_w = 4; p_channels = 1;
+        p_kernel = 2; p_stride = 2 }
+  in
+  let image = Array.init 16 (fun i -> float_of_int i) in
+  let out = Linalg.execute_reference op [ ("input", image) ] in
+  Alcotest.(check (array (float 1e-9))) "quadrant means" [| 2.5; 4.5; 10.5; 12.5 |] out
+
+let test_avgpool_schedule_preserves () =
+  let op =
+    Linalg.avgpool
+      { Linalg.p_batch = 1; p_in_h = 8; p_in_w = 8; p_channels = 4;
+        p_kernel = 2; p_stride = 2 }
+  in
+  Test_helpers.check_schedule_preserves op
+    [ Schedule.Parallelize [| 0; 2; 2; 0; 0; 0 |]; Schedule.Vectorize ]
+
+let test_elementwise_family_reference () =
+  let x = [| 4.0; 9.0 |] and y = [| 2.0; 3.0 |] in
+  let run op inputs = Linalg.execute_reference op inputs in
+  Alcotest.(check (array (float 1e-9))) "mul" [| 8.0; 27.0 |]
+    (run (Linalg.binary Linalg.Mul_k [| 2 |]) [ ("in0", x); ("in1", y) ]);
+  Alcotest.(check (array (float 1e-9))) "sub" [| 2.0; 6.0 |]
+    (run (Linalg.binary Linalg.Sub_k [| 2 |]) [ ("in0", x); ("in1", y) ]);
+  Alcotest.(check (array (float 1e-9))) "div" [| 2.0; 3.0 |]
+    (run (Linalg.binary Linalg.Div_k [| 2 |]) [ ("in0", x); ("in1", y) ]);
+  Alcotest.(check (array (float 1e-6))) "exp" [| exp 4.0; exp 9.0 |]
+    (run (Linalg.unary Linalg.Exp_k [| 2 |]) [ ("in0", x) ]);
+  Alcotest.(check (array (float 1e-6))) "log" [| log 4.0; log 9.0 |]
+    (run (Linalg.unary Linalg.Log_k [| 2 |]) [ ("in0", x) ])
+
+let test_exp_log_feature_counters () =
+  (* The paper's exp/log observation counters finally light up. *)
+  let counts op = Linalg.math_op_counts op in
+  Alcotest.(check (array int)) "exp counted" [| 0; 0; 0; 0; 1; 0 |]
+    (counts (Linalg.unary Linalg.Exp_k [| 4 |]));
+  Alcotest.(check (array int)) "log counted" [| 0; 0; 0; 0; 0; 1 |]
+    (counts (Linalg.unary Linalg.Log_k [| 4 |]));
+  Alcotest.(check (array int)) "div counted" [| 0; 0; 0; 1; 0; 0 |]
+    (counts (Linalg.binary Linalg.Div_k [| 4 |]))
+
+let test_bias_add_reference () =
+  let op = Linalg.bias_add [| 2; 3 |] in
+  let x = [| 1.; 2.; 3.; 4.; 5.; 6. |] in
+  let bias = [| 10.; 20.; 30. |] in
+  let out = Linalg.execute_reference op [ ("x", x); ("bias", bias) ] in
+  Alcotest.(check (array (float 1e-9))) "broadcast add"
+    [| 11.; 22.; 33.; 14.; 25.; 36. |] out
+
+let test_bias_add_broadcast_matrix () =
+  (* The bias operand's access matrix has a single non-zero entry in the
+     last loop column. *)
+  let op = Linalg.bias_add [| 4; 8 |] in
+  let m = Affine.to_matrix op.Linalg.inputs.(1).Linalg.map in
+  Alcotest.(check (array (array int))) "broadcast row" [| [| 0; 1; 0 |] |] m
+
+let test_bias_add_schedule_preserves () =
+  Test_helpers.check_schedule_preserves (Linalg.bias_add [| 8; 16 |])
+    [ Schedule.Parallelize [| 4; 0 |]; Schedule.Tile [| 2; 4 |]; Schedule.Vectorize ]
+
+let test_new_ops_fit_env () =
+  let cfg = Env_config.default in
+  let rng = Util.Rng.create 3 in
+  List.iter
+    (fun kind ->
+      let op = Generator.random_op rng kind in
+      let st = Sched_state.init op in
+      Alcotest.(check int)
+        (kind ^ " obs length")
+        (Env_config.obs_dim cfg)
+        (Array.length (Observation.extract cfg st)))
+    [ "batch_matmul"; "dwconv"; "avgpool"; "mul"; "sub"; "div"; "exp"; "log"; "bias_add" ]
+
+let test_new_ops_autoschedule () =
+  let ev = Evaluator.create () in
+  let config =
+    { Auto_scheduler.default_config with Auto_scheduler.max_schedules = 200 }
+  in
+  List.iter
+    (fun op ->
+      let r = Auto_scheduler.search ~config ev op in
+      Alcotest.(check bool)
+        (Linalg.kind_name op ^ " improves")
+        true
+        (r.Auto_scheduler.best_speedup > 1.0))
+    [
+      Linalg.batch_matmul ~b:4 ~m:128 ~n:128 ~k:128 ();
+      Linalg.depthwise_conv2d
+        { Linalg.batch = 1; in_h = 56; in_w = 56; channels = 64; kernel_h = 3;
+          kernel_w = 3; filters = 1; stride = 1 };
+      Linalg.avgpool
+        { Linalg.p_batch = 1; p_in_h = 56; p_in_w = 56; p_channels = 64;
+          p_kernel = 2; p_stride = 2 };
+      Linalg.bias_add [| 1024; 512 |];
+    ]
+
+let test_new_specs_roundtrip () =
+  List.iter
+    (fun spec ->
+      match Op_spec.parse spec with
+      | Error e -> Alcotest.failf "parse %s: %s" spec e
+      | Ok op -> (
+          match Op_spec.to_spec op with
+          | None -> Alcotest.failf "no spec for %s" spec
+          | Some s2 ->
+              let op2 = Result.get_ok (Op_spec.parse s2) in
+              Alcotest.(check (array int)) (spec ^ " domain") op.Linalg.domain
+                op2.Linalg.domain))
+    [
+      "batch_matmul:8x128x128x64"; "dwconv:56x56x64,k3,s1"; "avgpool:56x56x128,k2,s2";
+      "mul:1024x1024"; "sub:256x256"; "div:128x128"; "exp:512x512"; "log:64x64";
+      "bias_add:1024x512";
+    ]
+
+let qcheck_elementwise_preserve =
+  QCheck.Test.make ~name:"random schedules preserve extended elementwise ops" ~count:20
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let rng = Util.Rng.create seed in
+      let kind = Util.Rng.choice rng [| "mul"; "sub"; "exp"; "bias_add" |] in
+      let op =
+        match kind with
+        | "mul" -> Linalg.binary Linalg.Mul_k [| 8; 16 |]
+        | "sub" -> Linalg.binary Linalg.Sub_k [| 8; 16 |]
+        | "exp" -> Linalg.unary Linalg.Exp_k [| 8; 16 |]
+        | _ -> Linalg.bias_add [| 8; 16 |]
+      in
+      Test_helpers.check_schedule_preserves ~seed op
+        [ Schedule.Tile [| 4; 4 |]; Schedule.Swap 0; Schedule.Vectorize ];
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "batch matmul reference" `Quick test_batch_matmul_reference;
+    Alcotest.test_case "batch matmul preserves" `Quick
+      test_batch_matmul_schedule_preserves;
+    Alcotest.test_case "depthwise conv reference" `Quick test_depthwise_conv_reference;
+    Alcotest.test_case "depthwise preserves" `Quick
+      test_depthwise_conv_schedule_preserves;
+    Alcotest.test_case "depthwise not im2col" `Quick test_depthwise_not_im2col;
+    Alcotest.test_case "avgpool reference" `Quick test_avgpool_reference;
+    Alcotest.test_case "avgpool preserves" `Quick test_avgpool_schedule_preserves;
+    Alcotest.test_case "elementwise family" `Quick test_elementwise_family_reference;
+    Alcotest.test_case "exp/log counters" `Quick test_exp_log_feature_counters;
+    Alcotest.test_case "bias_add reference" `Quick test_bias_add_reference;
+    Alcotest.test_case "bias_add broadcast matrix" `Quick
+      test_bias_add_broadcast_matrix;
+    Alcotest.test_case "bias_add preserves" `Quick test_bias_add_schedule_preserves;
+    Alcotest.test_case "new ops fit env" `Quick test_new_ops_fit_env;
+    Alcotest.test_case "new ops autoschedule" `Quick test_new_ops_autoschedule;
+    Alcotest.test_case "new specs roundtrip" `Quick test_new_specs_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_elementwise_preserve;
+  ]

@@ -1,0 +1,115 @@
+(* Observation feature toggles (the ablation's plumbing). *)
+
+let base_cfg = Env_config.default
+let all = Env_config.all_features
+
+let obs_with features op =
+  let cfg = { base_cfg with Env_config.features } in
+  Observation.extract cfg (Sched_state.init op)
+
+let test_length_unchanged () =
+  let op = Test_helpers.small_conv () in
+  let full = obs_with all op in
+  let stripped =
+    obs_with { all with Env_config.use_history = false;
+               Env_config.use_access_matrices = false } op
+  in
+  Alcotest.(check int) "same length" (Array.length full) (Array.length stripped)
+
+let block_ranges cfg =
+  let n = cfg.Env_config.n_max in
+  let m = cfg.Env_config.d_max * (n + 1) in
+  let loop_info = (0, n) in
+  let matrices = (n, (cfg.Env_config.l_max + 1) * m) in
+  let counts = (n + ((cfg.Env_config.l_max + 1) * m), 6) in
+  let history =
+    (n + ((cfg.Env_config.l_max + 1) * m) + 6, n * 3 * cfg.Env_config.tau)
+  in
+  (loop_info, matrices, counts, history)
+
+let all_zero arr (off, len) =
+  Array.for_all (fun i -> arr.(off + i) = 0.0) (Array.init len (fun i -> i))
+
+let some_nonzero arr (off, len) = not (all_zero arr (off, len))
+
+let test_history_zeroed () =
+  let op = Test_helpers.small_matmul () in
+  let cfg = base_cfg in
+  let _, _, _, history = block_ranges cfg in
+  let st =
+    Result.get_ok (Sched_state.apply_all op [ Schedule.Tile [| 4; 4; 4 |] ])
+  in
+  let full = Observation.extract cfg st in
+  Alcotest.(check bool) "full has history" true (some_nonzero full history);
+  let stripped =
+    Observation.extract
+      { cfg with Env_config.features = { all with Env_config.use_history = false } }
+      st
+  in
+  Alcotest.(check bool) "stripped history zero" true (all_zero stripped history)
+
+let test_matrices_zeroed () =
+  let op = Test_helpers.small_matmul () in
+  let cfg = base_cfg in
+  let _, matrices, _, _ = block_ranges cfg in
+  let st = Sched_state.init op in
+  let full = Observation.extract cfg st in
+  Alcotest.(check bool) "full has matrices" true (some_nonzero full matrices);
+  let stripped =
+    Observation.extract
+      { cfg with
+        Env_config.features = { all with Env_config.use_access_matrices = false } }
+      st
+  in
+  Alcotest.(check bool) "stripped matrices zero" true (all_zero stripped matrices)
+
+let test_loop_info_zeroed () =
+  let op = Test_helpers.small_matmul () in
+  let cfg = base_cfg in
+  let loop_info, _, _, _ = block_ranges cfg in
+  let st = Sched_state.init op in
+  let stripped =
+    Observation.extract
+      { cfg with Env_config.features = { all with Env_config.use_loop_info = false } }
+      st
+  in
+  Alcotest.(check bool) "loop info zero" true (all_zero stripped loop_info);
+  let full = Observation.extract cfg st in
+  Alcotest.(check bool) "full loop info nonzero" true (some_nonzero full loop_info)
+
+let test_counts_zeroed () =
+  let op = Test_helpers.small_matmul () in
+  let cfg = base_cfg in
+  let _, _, counts, _ = block_ranges cfg in
+  let stripped =
+    Observation.extract
+      { cfg with
+        Env_config.features = { all with Env_config.use_math_counts = false } }
+      (Sched_state.init op)
+  in
+  Alcotest.(check bool) "counts zero" true (all_zero stripped counts)
+
+let test_env_trains_with_ablated_features () =
+  (* Smoke: the trainer runs with a stripped observation. *)
+  let cfg =
+    { base_cfg with Env_config.features = { all with Env_config.use_history = false } }
+  in
+  let env = Env.create cfg in
+  let rng = Util.Rng.create 17 in
+  let policy = Policy.create ~hidden:8 ~backbone_layers:1 rng cfg in
+  let config = { Trainer.default_config with Trainer.iterations = 1; seed = 1 } in
+  let stats =
+    Trainer.train config env policy ~ops:[| Linalg.matmul ~m:64 ~n:64 ~k:64 () |]
+  in
+  Alcotest.(check int) "ran" 1 (List.length stats)
+
+let suite =
+  [
+    Alcotest.test_case "length unchanged" `Quick test_length_unchanged;
+    Alcotest.test_case "history zeroed" `Quick test_history_zeroed;
+    Alcotest.test_case "matrices zeroed" `Quick test_matrices_zeroed;
+    Alcotest.test_case "loop info zeroed" `Quick test_loop_info_zeroed;
+    Alcotest.test_case "counts zeroed" `Quick test_counts_zeroed;
+    Alcotest.test_case "trains with ablated features" `Quick
+      test_env_trains_with_ablated_features;
+  ]

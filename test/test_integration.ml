@@ -1,0 +1,100 @@
+(* End-to-end smoke: train small policies and check learning signals. *)
+
+let small_cfg = Env_config.default
+
+let test_hierarchical_training_runs () =
+  let env = Env.create small_cfg in
+  let rng = Util.Rng.create 1001 in
+  let policy = Policy.create ~hidden:24 ~backbone_layers:2 rng small_cfg in
+  let op = Linalg.matmul ~m:256 ~n:256 ~k:256 () in
+  let config =
+    { Trainer.default_config with Trainer.iterations = 4; seed = 7 }
+  in
+  let stats = Trainer.train config env policy ~ops:[| op |] in
+  Alcotest.(check int) "four iterations" 4 (List.length stats);
+  List.iter
+    (fun (s : Trainer.iteration_stats) ->
+      Alcotest.(check bool) "finite return" true
+        (Float.is_finite s.Trainer.mean_episode_return);
+      Alcotest.(check bool) "speedup positive" true (s.Trainer.mean_final_speedup > 0.0))
+    stats;
+  (* Exploration during 4 iterations finds decent schedules. *)
+  let last = List.nth stats 3 in
+  Alcotest.(check bool) "found something" true (last.Trainer.best_speedup > 1.0)
+
+let test_training_deterministic_given_seed () =
+  let run () =
+    let env = Env.create small_cfg in
+    let rng = Util.Rng.create 77 in
+    let policy = Policy.create ~hidden:16 ~backbone_layers:1 rng small_cfg in
+    let op = Linalg.matmul ~m:128 ~n:128 ~k:128 () in
+    let config = { Trainer.default_config with Trainer.iterations = 2; seed = 3 } in
+    List.map
+      (fun (s : Trainer.iteration_stats) -> s.Trainer.mean_episode_return)
+      (Trainer.train config env policy ~ops:[| op |])
+  in
+  let a = run () and b = run () in
+  List.iter2 (fun x y -> Alcotest.(check (float 1e-9)) "same returns" x y) a b
+
+let test_greedy_rollout_valid_schedule () =
+  let env = Env.create small_cfg in
+  let rng = Util.Rng.create 5 in
+  let policy = Policy.create ~hidden:16 ~backbone_layers:1 rng small_cfg in
+  let op = Linalg.matmul ~m:128 ~n:128 ~k:128 () in
+  let sched, speedup = Trainer.greedy_rollout env policy op in
+  Alcotest.(check bool) "schedule applies" true
+    (Result.is_ok (Sched_state.apply_all op sched));
+  Alcotest.(check bool) "speedup positive" true (speedup > 0.0)
+
+let test_sampled_best_improves_on_average () =
+  let env = Env.create small_cfg in
+  let rng = Util.Rng.create 6 in
+  let policy = Policy.create ~hidden:16 ~backbone_layers:1 rng small_cfg in
+  let op = Linalg.matmul ~m:256 ~n:256 ~k:256 () in
+  let _, best1 = Trainer.sampled_best rng env policy op ~trials:1 in
+  let _, best20 = Trainer.sampled_best rng env policy op ~trials:20 in
+  Alcotest.(check bool) "more trials can't hurt" true (best20 >= best1 *. 0.999)
+
+let test_flat_training_runs () =
+  let env = Env.create small_cfg in
+  let rng = Util.Rng.create 1002 in
+  let op = Linalg.matmul ~m:256 ~n:256 ~k:256 () in
+  let policy =
+    Flat_policy.create ~hidden:24 ~backbone_layers:1 rng small_cfg
+      ~n_loops:(Linalg.n_loops op)
+  in
+  let config = { Trainer.default_config with Trainer.iterations = 3; seed = 9 } in
+  let stats = Trainer.train_flat config env policy ~ops:[| op |] in
+  Alcotest.(check int) "three iterations" 3 (List.length stats);
+  Alcotest.(check bool) "explored some schedules" true
+    ((List.nth stats 2).Trainer.schedules_explored > 0)
+
+let test_training_improves_over_iterations () =
+  (* On a single op with a small net, the mean return should trend up
+     between the first and the best later iteration. *)
+  let env = Env.create small_cfg in
+  let rng = Util.Rng.create 2024 in
+  let policy = Policy.create ~hidden:32 ~backbone_layers:2 rng small_cfg in
+  let op = Linalg.matmul ~m:512 ~n:512 ~k:512 () in
+  let config = { Trainer.default_config with Trainer.iterations = 12; seed = 1 } in
+  let stats = Trainer.train config env policy ~ops:[| op |] in
+  let first = (List.hd stats).Trainer.mean_episode_return in
+  let best_later =
+    List.fold_left
+      (fun acc (s : Trainer.iteration_stats) -> Float.max acc s.Trainer.mean_episode_return)
+      neg_infinity (List.tl stats)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "improves (first %.3f, best later %.3f)" first best_later)
+    true (best_later > first)
+
+let suite =
+  [
+    Alcotest.test_case "hierarchical training runs" `Slow test_hierarchical_training_runs;
+    Alcotest.test_case "training deterministic" `Slow test_training_deterministic_given_seed;
+    Alcotest.test_case "greedy rollout valid" `Quick test_greedy_rollout_valid_schedule;
+    Alcotest.test_case "sampled best monotone-ish" `Quick
+      test_sampled_best_improves_on_average;
+    Alcotest.test_case "flat training runs" `Slow test_flat_training_runs;
+    Alcotest.test_case "training improves" `Slow test_training_improves_over_iterations;
+  ]

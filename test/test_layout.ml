@@ -1,0 +1,119 @@
+(* NHWC vs NCHW convolution layouts. *)
+
+let params =
+  {
+    Linalg.batch = 2;
+    in_h = 7;
+    in_w = 7;
+    channels = 3;
+    kernel_h = 3;
+    kernel_w = 3;
+    filters = 4;
+    stride = 1;
+  }
+
+(* Transpose a flattened NHWC buffer into NCHW. *)
+let nhwc_to_nchw ~n ~h ~w ~c buf =
+  let out = Array.make (Array.length buf) 0.0 in
+  for ni = 0 to n - 1 do
+    for hi = 0 to h - 1 do
+      for wi = 0 to w - 1 do
+        for ci = 0 to c - 1 do
+          out.((((ni * c) + ci) * h * w) + (hi * w) + wi) <-
+            buf.((((ni * h) + hi) * w * c) + (wi * c) + ci)
+        done
+      done
+    done
+  done;
+  out
+
+(* Transpose an HWCF filter into FCHW. *)
+let hwcf_to_fchw ~kh ~kw ~c ~f buf =
+  let out = Array.make (Array.length buf) 0.0 in
+  for hi = 0 to kh - 1 do
+    for wi = 0 to kw - 1 do
+      for ci = 0 to c - 1 do
+        for fi = 0 to f - 1 do
+          out.((((fi * c) + ci) * kh * kw) + (hi * kw) + wi) <-
+            buf.((((hi * kw) + wi) * c * f) + (ci * f) + fi)
+        done
+      done
+    done
+  done;
+  out
+
+let test_layouts_agree () =
+  let nhwc = Linalg.conv2d params in
+  let nchw = Linalg.conv2d_nchw params in
+  let rng = Util.Rng.create 606 in
+  let image = Test_helpers.buffer_of rng (2 * 7 * 7 * 3) in
+  let filter = Test_helpers.buffer_of rng (3 * 3 * 3 * 4) in
+  let out_nhwc =
+    Linalg.execute_reference nhwc [ ("input", image); ("filter", filter) ]
+  in
+  let out_nchw =
+    Linalg.execute_reference nchw
+      [
+        ("input", nhwc_to_nchw ~n:2 ~h:7 ~w:7 ~c:3 image);
+        ("filter", hwcf_to_fchw ~kh:3 ~kw:3 ~c:3 ~f:4 filter);
+      ]
+  in
+  (* out_nhwc is (n, oh, ow, f); out_nchw is (n, f, oh, ow). *)
+  let transposed = nhwc_to_nchw ~n:2 ~h:5 ~w:5 ~c:4 out_nhwc in
+  Test_helpers.check_close "layouts compute the same function" out_nchw transposed
+
+let test_nchw_access_matrices_differ () =
+  let nhwc = Linalg.conv2d params in
+  let nchw = Linalg.conv2d_nchw params in
+  Alcotest.(check bool) "input maps differ" false
+    (Affine.equal_map nhwc.Linalg.inputs.(0).Linalg.map
+       nchw.Linalg.inputs.(0).Linalg.map);
+  Alcotest.(check (array int)) "same domain" nhwc.Linalg.domain nchw.Linalg.domain
+
+let test_nchw_not_im2col () =
+  let nchw = Linalg.conv2d_nchw params in
+  Alcotest.(check bool) "excluded from im2col" false (Linalg.is_conv nchw)
+
+let test_nchw_schedules_preserve () =
+  Test_helpers.check_schedule_preserves (Linalg.conv2d_nchw params)
+    [ Schedule.Tile [| 0; 0; 0; 2; 0; 0; 0 |]; Schedule.Swap 2; Schedule.Vectorize ]
+
+let test_layout_affects_best_schedule_cost () =
+  (* The cost model must distinguish the layouts: vectorizing the channel
+     loop is contiguous in NHWC but strided in NCHW. *)
+  let big =
+    { Linalg.batch = 1; in_h = 58; in_w = 58; channels = 64; kernel_h = 3;
+      kernel_w = 3; filters = 64; stride = 1 }
+  in
+  let machine = Machine.e5_2680_v4 in
+  let time op sched =
+    let st = Result.get_ok (Sched_state.apply_all op sched) in
+    Cost_model.seconds ~machine ~iter_kinds:op.Linalg.iter_kinds
+      st.Sched_state.nest
+  in
+  (* channel loop (dim 6) innermost and vectorized *)
+  let sched = [ Schedule.Vectorize ] in
+  let t_nhwc = time (Linalg.conv2d big) sched in
+  let t_nchw = time (Linalg.conv2d_nchw big) sched in
+  Alcotest.(check bool)
+    (Printf.sprintf "NHWC %.4g faster than NCHW %.4g under channel vectorization"
+       t_nhwc t_nchw)
+    true (t_nhwc < t_nchw)
+
+let test_nchw_spec_roundtrip () =
+  let spec = "conv2d_nchw:56x56x64,k3,f128,s1" in
+  match Op_spec.parse spec with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok op ->
+      Alcotest.(check string) "kind" "conv2d_nchw" (Linalg.kind_name op);
+      Alcotest.(check (option string)) "roundtrip" (Some spec) (Op_spec.to_spec op)
+
+let suite =
+  [
+    Alcotest.test_case "layouts agree" `Quick test_layouts_agree;
+    Alcotest.test_case "access matrices differ" `Quick test_nchw_access_matrices_differ;
+    Alcotest.test_case "nchw not im2col" `Quick test_nchw_not_im2col;
+    Alcotest.test_case "nchw schedules preserve" `Quick test_nchw_schedules_preserve;
+    Alcotest.test_case "layout affects cost" `Quick test_layout_affects_best_schedule_cost;
+    Alcotest.test_case "nchw spec roundtrip" `Quick test_nchw_spec_roundtrip;
+  ]

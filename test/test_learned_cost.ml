@@ -1,0 +1,73 @@
+(* The learned cost model extension (§6.1 future work). *)
+
+let cfg = Env_config.default
+
+let small_ops =
+  [|
+    Linalg.matmul ~m:256 ~n:256 ~k:256 ();
+    Linalg.matmul ~m:512 ~n:128 ~k:256 ();
+    Linalg.add [| 512; 512 |];
+    Linalg.relu [| 1024; 256 |];
+  |]
+
+let test_collect_shapes () =
+  let rng = Util.Rng.create 5 in
+  let ev = Evaluator.create () in
+  let data = Learned_cost.collect ~samples:32 rng cfg ev ~ops:small_ops in
+  Alcotest.(check int) "sample count" 32 (Array.length data);
+  Array.iter
+    (fun (e : Learned_cost.example) ->
+      Alcotest.(check int) "feature length" (Env_config.obs_dim cfg)
+        (Array.length e.Learned_cost.features);
+      Alcotest.(check bool) "finite target" true
+        (Float.is_finite e.Learned_cost.log_speedup))
+    data
+
+let test_fit_reduces_loss () =
+  let rng = Util.Rng.create 6 in
+  let ev = Evaluator.create () in
+  let data = Learned_cost.collect ~samples:128 rng cfg ev ~ops:small_ops in
+  let model = Learned_cost.create ~hidden:32 ~layers:2 rng cfg in
+  let report = Learned_cost.fit ~epochs:30 model data in
+  Alcotest.(check bool)
+    (Printf.sprintf "loss %f -> %f" report.Learned_cost.initial_loss
+       report.Learned_cost.final_loss)
+    true
+    (report.Learned_cost.final_loss < report.Learned_cost.initial_loss /. 2.0)
+
+let test_generalizes_by_rank () =
+  (* Train on one split, require positive rank correlation on held-out
+     states — enough for the model to guide a search. *)
+  let rng = Util.Rng.create 7 in
+  let ev = Evaluator.create () in
+  let train = Learned_cost.collect ~samples:256 rng cfg ev ~ops:small_ops in
+  let test = Learned_cost.collect ~samples:64 rng cfg ev ~ops:small_ops in
+  let model = Learned_cost.create ~hidden:48 ~layers:2 rng cfg in
+  ignore (Learned_cost.fit ~epochs:40 model train);
+  let rho = Learned_cost.rank_correlation model test in
+  Alcotest.(check bool)
+    (Printf.sprintf "rank correlation %.3f > 0.5" rho)
+    true (rho > 0.5)
+
+let test_predict_speedup_positive () =
+  let rng = Util.Rng.create 8 in
+  let model = Learned_cost.create ~hidden:16 ~layers:1 rng cfg in
+  let st = Sched_state.init small_ops.(0) in
+  Alcotest.(check bool) "positive" true (Learned_cost.predict_speedup model st > 0.0)
+
+let test_fit_rejects_empty () =
+  let rng = Util.Rng.create 9 in
+  let model = Learned_cost.create ~hidden:8 ~layers:1 rng cfg in
+  Alcotest.(check bool) "raises" true
+    (match Learned_cost.fit model [||] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "collect shapes" `Quick test_collect_shapes;
+    Alcotest.test_case "fit reduces loss" `Slow test_fit_reduces_loss;
+    Alcotest.test_case "generalizes by rank" `Slow test_generalizes_by_rank;
+    Alcotest.test_case "predict positive" `Quick test_predict_speedup_positive;
+    Alcotest.test_case "fit rejects empty" `Quick test_fit_rejects_empty;
+  ]

@@ -1,0 +1,219 @@
+(* Tests for structured-op construction and reference execution. *)
+
+let test_matmul_shape () =
+  let op = Linalg.matmul ~m:4 ~n:6 ~k:8 () in
+  Alcotest.(check (array int)) "domain" [| 4; 6; 8 |] op.Linalg.domain;
+  Alcotest.(check int) "loops" 3 (Linalg.n_loops op);
+  Alcotest.(check int) "iterations" 192 (Linalg.iteration_count op)
+
+let test_matmul_reference () =
+  (* 2x2 known product. *)
+  let op = Linalg.matmul ~m:2 ~n:2 ~k:2 () in
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  let b = [| 5.0; 6.0; 7.0; 8.0 |] in
+  let c = Linalg.execute_reference op [ ("A", a); ("B", b) ] in
+  Alcotest.(check (array (float 1e-9))) "product" [| 19.0; 22.0; 43.0; 50.0 |] c
+
+let test_conv_domain_seven_loops () =
+  let op = Test_helpers.small_conv () in
+  Alcotest.(check int) "seven loops" 7 (Linalg.n_loops op);
+  Alcotest.(check (array int)) "domain" [| 2; 6; 6; 4; 3; 3; 3 |] op.Linalg.domain
+
+let test_conv_known_value () =
+  (* 1x3x3x1 image, 3x3 kernel of ones, stride 1 -> single output = sum. *)
+  let op =
+    Linalg.conv2d
+      {
+        Linalg.batch = 1;
+        in_h = 3;
+        in_w = 3;
+        channels = 1;
+        kernel_h = 3;
+        kernel_w = 3;
+        filters = 1;
+        stride = 1;
+      }
+  in
+  let image = Array.init 9 (fun i -> float_of_int (i + 1)) in
+  let filter = Array.make 9 1.0 in
+  let out = Linalg.execute_reference op [ ("input", image); ("filter", filter) ] in
+  Alcotest.(check (array (float 1e-9))) "sum of 1..9" [| 45.0 |] out
+
+let test_conv_stride () =
+  let op =
+    Linalg.conv2d
+      {
+        Linalg.batch = 1;
+        in_h = 5;
+        in_w = 5;
+        channels = 1;
+        kernel_h = 3;
+        kernel_w = 3;
+        filters = 1;
+        stride = 2;
+      }
+  in
+  Alcotest.(check (array int)) "output 2x2" [| 1; 2; 2; 1; 3; 3; 1 |] op.Linalg.domain
+
+let test_conv_rejects_big_kernel () =
+  Alcotest.check_raises "kernel too big"
+    (Invalid_argument "Linalg.conv2d: kernel larger than input") (fun () ->
+      ignore
+        (Linalg.conv2d
+           {
+             Linalg.batch = 1;
+             in_h = 2;
+             in_w = 2;
+             channels = 1;
+             kernel_h = 3;
+             kernel_w = 3;
+             filters = 1;
+             stride = 1;
+           }))
+
+let test_maxpool_reference () =
+  (* 1x4x4x1, 2x2 pool stride 2: max of each quadrant. *)
+  let op =
+    Linalg.maxpool
+      {
+        Linalg.p_batch = 1;
+        p_in_h = 4;
+        p_in_w = 4;
+        p_channels = 1;
+        p_kernel = 2;
+        p_stride = 2;
+      }
+  in
+  let image = Array.init 16 (fun i -> float_of_int i) in
+  let out = Linalg.execute_reference op [ ("input", image) ] in
+  Alcotest.(check (array (float 1e-9))) "quadrant maxes" [| 5.0; 7.0; 13.0; 15.0 |] out
+
+let test_maxpool_negative_inputs () =
+  (* Initialization must be -inf, not 0, so all-negative windows work. *)
+  let op =
+    Linalg.maxpool
+      {
+        Linalg.p_batch = 1;
+        p_in_h = 2;
+        p_in_w = 2;
+        p_channels = 1;
+        p_kernel = 2;
+        p_stride = 2;
+      }
+  in
+  let out = Linalg.execute_reference op [ ("input", [| -5.0; -3.0; -9.0; -4.0 |]) ] in
+  Alcotest.(check (array (float 1e-9))) "max of negatives" [| -3.0 |] out
+
+let test_add_relu_reference () =
+  let add = Linalg.add [| 2; 2 |] in
+  let out =
+    Linalg.execute_reference add
+      [ ("in0", [| 1.0; 2.0; 3.0; 4.0 |]); ("in1", [| 10.0; 20.0; 30.0; 40.0 |]) ]
+  in
+  Alcotest.(check (array (float 1e-9))) "sum" [| 11.0; 22.0; 33.0; 44.0 |] out;
+  let relu = Linalg.relu [| 4 |] in
+  let out = Linalg.execute_reference relu [ ("in0", [| -1.0; 0.0; 2.0; -3.0 |]) ] in
+  Alcotest.(check (array (float 1e-9))) "clamped" [| 0.0; 0.0; 2.0; 0.0 |] out
+
+let test_validate_catches_oob () =
+  (* An operand whose map reads beyond its shape must be rejected. *)
+  let bad () =
+    Linalg.generic ~domain:[| 4 |] ~iter_kinds:[| Linalg.Parallel_iter |]
+      ~inputs:
+        [ { Linalg.name = "x"; shape = [| 2 |]; map = Affine.identity_map 1 } ]
+      ~output:{ Linalg.name = "y"; shape = [| 4 |]; map = Affine.identity_map 1 }
+      ~body:(Linalg.Input 0) ()
+  in
+  Alcotest.(check bool) "raises" true
+    (match bad () with exception Invalid_argument _ -> true | _ -> false)
+
+let test_validate_reduction_needs_init () =
+  let bad () =
+    Linalg.generic ~domain:[| 4 |] ~iter_kinds:[| Linalg.Reduction_iter |]
+      ~inputs:
+        [ { Linalg.name = "x"; shape = [| 4 |]; map = Affine.identity_map 1 } ]
+      ~output:
+        { Linalg.name = "y"; shape = [| 4 |]; map = Affine.identity_map 1 }
+      ~body:(Linalg.Binop (Linalg.Add, Linalg.Output, Linalg.Input 0))
+      ()
+  in
+  Alcotest.(check bool) "raises" true
+    (match bad () with exception Invalid_argument _ -> true | _ -> false)
+
+let test_math_op_counts () =
+  let op = Linalg.matmul ~m:2 ~n:2 ~k:2 () in
+  Alcotest.(check (array int)) "matmul: 1 add 1 mul" [| 1; 0; 1; 0; 0; 0 |]
+    (Linalg.math_op_counts op);
+  let relu = Linalg.relu [| 4 |] in
+  Alcotest.(check (array int)) "relu: max not counted" [| 0; 0; 0; 0; 0; 0 |]
+    (Linalg.math_op_counts relu)
+
+let test_flops_per_point () =
+  Alcotest.(check int) "matmul fma" 2
+    (Linalg.flops_per_point (Linalg.matmul ~m:2 ~n:2 ~k:2 ()));
+  Alcotest.(check int) "maxpool max" 1
+    (Linalg.flops_per_point (Test_helpers.small_maxpool ()))
+
+let test_kind_names () =
+  Alcotest.(check string) "matmul" "matmul"
+    (Linalg.kind_name (Linalg.matmul ~m:2 ~n:2 ~k:2 ()));
+  Alcotest.(check string) "conv2d" "conv2d" (Linalg.kind_name (Test_helpers.small_conv ()));
+  Alcotest.(check string) "maxpool" "maxpool"
+    (Linalg.kind_name (Test_helpers.small_maxpool ()));
+  Alcotest.(check string) "add" "add" (Linalg.kind_name (Linalg.add [| 2 |]));
+  Alcotest.(check string) "relu" "relu" (Linalg.kind_name (Linalg.relu [| 2 |]))
+
+let test_execute_rejects_missing_buffer () =
+  let op = Linalg.matmul ~m:2 ~n:2 ~k:2 () in
+  Alcotest.(check bool) "raises" true
+    (match Linalg.execute_reference op [ ("A", Array.make 4 0.0) ] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let qcheck_matmul_identity =
+  (* A * I = A for square matrices. *)
+  QCheck.Test.make ~name:"matmul by identity is identity" ~count:50
+    QCheck.(int_range 1 8)
+    (fun n ->
+      let op = Linalg.matmul ~m:n ~n ~k:n () in
+      let rng = Util.Rng.create (n + 1) in
+      let a = Array.init (n * n) (fun _ -> Util.Rng.gaussian rng) in
+      let id =
+        Array.init (n * n) (fun i -> if i / n = i mod n then 1.0 else 0.0)
+      in
+      let c = Linalg.execute_reference op [ ("A", a); ("B", id) ] in
+      Test_helpers.arrays_close a c)
+
+let qcheck_add_commutes =
+  QCheck.Test.make ~name:"elementwise add commutes" ~count:50
+    QCheck.(pair (int_range 1 6) (int_range 1 6))
+    (fun (r, c) ->
+      let op = Linalg.add [| r; c |] in
+      let rng = Util.Rng.create (r + (10 * c)) in
+      let x = Array.init (r * c) (fun _ -> Util.Rng.gaussian rng) in
+      let y = Array.init (r * c) (fun _ -> Util.Rng.gaussian rng) in
+      let xy = Linalg.execute_reference op [ ("in0", x); ("in1", y) ] in
+      let yx = Linalg.execute_reference op [ ("in0", y); ("in1", x) ] in
+      Test_helpers.arrays_close xy yx)
+
+let suite =
+  [
+    Alcotest.test_case "matmul shape" `Quick test_matmul_shape;
+    Alcotest.test_case "matmul reference" `Quick test_matmul_reference;
+    Alcotest.test_case "conv seven loops" `Quick test_conv_domain_seven_loops;
+    Alcotest.test_case "conv known value" `Quick test_conv_known_value;
+    Alcotest.test_case "conv stride" `Quick test_conv_stride;
+    Alcotest.test_case "conv rejects big kernel" `Quick test_conv_rejects_big_kernel;
+    Alcotest.test_case "maxpool reference" `Quick test_maxpool_reference;
+    Alcotest.test_case "maxpool negative inputs" `Quick test_maxpool_negative_inputs;
+    Alcotest.test_case "add/relu reference" `Quick test_add_relu_reference;
+    Alcotest.test_case "validate catches OOB" `Quick test_validate_catches_oob;
+    Alcotest.test_case "reduction needs init" `Quick test_validate_reduction_needs_init;
+    Alcotest.test_case "math op counts" `Quick test_math_op_counts;
+    Alcotest.test_case "flops per point" `Quick test_flops_per_point;
+    Alcotest.test_case "kind names" `Quick test_kind_names;
+    Alcotest.test_case "missing buffer rejected" `Quick
+      test_execute_rejects_missing_buffer;
+    QCheck_alcotest.to_alcotest qcheck_matmul_identity;
+    QCheck_alcotest.to_alcotest qcheck_add_commutes;
+  ]

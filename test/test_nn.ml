@@ -1,0 +1,321 @@
+(* Tensor algebra, autodiff (against finite differences), layers,
+   optimizers and masked categorical distributions. *)
+
+let t_testable = Alcotest.testable Tensor.pp (Tensor.approx_equal ~tol:1e-9)
+
+(* --- Tensor --- *)
+
+let test_tensor_create () =
+  let t = Tensor.create [| 2; 3 |] 1.5 in
+  Alcotest.(check int) "numel" 6 (Tensor.numel t);
+  Alcotest.(check (float 1e-12)) "value" 1.5 (Tensor.get t 5)
+
+let test_tensor_of_array_validates () =
+  Alcotest.(check bool) "raises" true
+    (match Tensor.of_array [| 2; 2 |] [| 1.0 |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_tensor_matmul_known () =
+  let a = Tensor.of_array [| 2; 2 |] [| 1.0; 2.0; 3.0; 4.0 |] in
+  let b = Tensor.of_array [| 2; 2 |] [| 5.0; 6.0; 7.0; 8.0 |] in
+  Alcotest.(check t_testable) "product"
+    (Tensor.of_array [| 2; 2 |] [| 19.0; 22.0; 43.0; 50.0 |])
+    (Tensor.matmul a b)
+
+let test_tensor_matmul_transposes_agree () =
+  let rng = Util.Rng.create 4 in
+  let a = Tensor.init [| 3; 5 |] (fun _ -> Util.Rng.gaussian rng) in
+  let b = Tensor.init [| 5; 2 |] (fun _ -> Util.Rng.gaussian rng) in
+  let direct = Tensor.matmul a b in
+  let via_ta = Tensor.matmul_transpose_a (Tensor.transpose a) b in
+  let via_tb = Tensor.matmul_transpose_b a (Tensor.transpose b) in
+  Alcotest.(check bool) "a^T path" true (Tensor.approx_equal ~tol:1e-9 direct via_ta);
+  Alcotest.(check bool) "b^T path" true (Tensor.approx_equal ~tol:1e-9 direct via_tb)
+
+let test_tensor_add_bias () =
+  let x = Tensor.of_array [| 2; 2 |] [| 1.0; 2.0; 3.0; 4.0 |] in
+  let b = Tensor.of_array [| 2 |] [| 10.0; 20.0 |] in
+  Alcotest.(check t_testable) "bias per row"
+    (Tensor.of_array [| 2; 2 |] [| 11.0; 22.0; 13.0; 24.0 |])
+    (Tensor.add_bias x b)
+
+let test_tensor_sum_rows_argmax () =
+  let x = Tensor.of_array [| 2; 3 |] [| 1.0; 5.0; 2.0; 4.0; 0.0; 3.0 |] in
+  Alcotest.(check t_testable) "row sums"
+    (Tensor.of_array [| 2 |] [| 8.0; 7.0 |])
+    (Tensor.sum_rows x);
+  Alcotest.(check int) "argmax row 0" 1 (Tensor.argmax_row x 0);
+  Alcotest.(check int) "argmax row 1" 0 (Tensor.argmax_row x 1)
+
+let test_tensor_reshape () =
+  let x = Tensor.of_array [| 2; 3 |] [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 |] in
+  let y = Tensor.reshape [| 3; 2 |] x in
+  Alcotest.(check (float 1e-12)) "data preserved" 4.0 (Tensor.get2 y 1 1);
+  Alcotest.(check bool) "bad reshape raises" true
+    (match Tensor.reshape [| 4; 2 |] x with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- Autodiff vs finite differences --- *)
+
+let finite_diff_check ~build ~params ~eps ~tol =
+  List.iter Autodiff.Param.zero_grad params;
+  let tape, loss = build () in
+  Autodiff.backward tape loss;
+  let analytic = List.map (fun p -> Tensor.copy p.Autodiff.Param.grad) params in
+  List.iteri
+    (fun pi p ->
+      let d = p.Autodiff.Param.data in
+      for i = 0 to Tensor.numel d - 1 do
+        let orig = Tensor.get d i in
+        Tensor.set d i (orig +. eps);
+        let _, l1 = build () in
+        Tensor.set d i (orig -. eps);
+        let _, l2 = build () in
+        Tensor.set d i orig;
+        let num =
+          (Tensor.get (Autodiff.value l1) 0 -. Tensor.get (Autodiff.value l2) 0)
+          /. (2.0 *. eps)
+        in
+        let ana = Tensor.get (List.nth analytic pi) i in
+        if Float.abs (num -. ana) > tol *. (1.0 +. Float.abs num) then
+          Alcotest.failf "grad mismatch param %d idx %d: %g vs %g" pi i ana num
+      done)
+    params
+
+let test_grad_linear_relu () =
+  let rng = Util.Rng.create 21 in
+  let layer = Layers.linear rng ~in_dim:4 ~out_dim:3 "l" in
+  let x = Tensor.init [| 2; 4 |] (fun _ -> Util.Rng.gaussian rng) in
+  finite_diff_check
+    ~build:(fun () ->
+      let tape = Autodiff.Tape.create () in
+      let xo = Autodiff.const tape x in
+      let y = Autodiff.relu tape (Layers.forward_linear tape layer xo) in
+      (tape, Autodiff.mean_all tape (Autodiff.square tape y)))
+    ~params:(Layers.linear_params layer) ~eps:1e-5 ~tol:1e-5
+
+let test_grad_log_softmax_gather () =
+  let rng = Util.Rng.create 22 in
+  let layer = Layers.linear rng ~in_dim:3 ~out_dim:4 "l" in
+  let x = Tensor.init [| 3; 3 |] (fun _ -> Util.Rng.gaussian rng) in
+  finite_diff_check
+    ~build:(fun () ->
+      let tape = Autodiff.Tape.create () in
+      let xo = Autodiff.const tape x in
+      let logits = Layers.forward_linear tape layer xo in
+      let lp = Autodiff.log_softmax tape logits in
+      let picked = Autodiff.gather_cols tape lp [| 0; 3; 2 |] in
+      (tape, Autodiff.mean_all tape picked))
+    ~params:(Layers.linear_params layer) ~eps:1e-5 ~tol:1e-5
+
+let test_grad_ppo_style_loss () =
+  let rng = Util.Rng.create 23 in
+  let mlp = Layers.mlp rng ~dims:[ 4; 8; 3 ] "net" in
+  let x = Tensor.init [| 4; 4 |] (fun _ -> Util.Rng.gaussian rng) in
+  let adv = Tensor.init [| 4 |] (fun _ -> Util.Rng.gaussian rng) in
+  let old_lp = Tensor.init [| 4 |] (fun _ -> -1.0 -. Util.Rng.uniform rng) in
+  finite_diff_check
+    ~build:(fun () ->
+      let tape = Autodiff.Tape.create () in
+      let xo = Autodiff.const tape x in
+      let lp_all = Autodiff.log_softmax tape (Layers.forward_mlp tape mlp xo) in
+      let lp = Autodiff.gather_cols tape lp_all [| 0; 1; 2; 0 |] in
+      let ratio = Autodiff.exp_ tape (Autodiff.sub tape lp (Autodiff.const tape old_lp)) in
+      let a = Autodiff.const tape adv in
+      let clipped = Autodiff.clamp tape ~lo:0.8 ~hi:1.2 ratio in
+      let surr =
+        Autodiff.min_ tape (Autodiff.mul tape ratio a) (Autodiff.mul tape clipped a)
+      in
+      (tape, Autodiff.neg tape (Autodiff.mean_all tape surr)))
+    ~params:(Layers.mlp_params mlp) ~eps:1e-5 ~tol:1e-4
+
+let test_grad_slice_sum_rows () =
+  let rng = Util.Rng.create 24 in
+  let layer = Layers.linear rng ~in_dim:3 ~out_dim:6 "l" in
+  let x = Tensor.init [| 2; 3 |] (fun _ -> Util.Rng.gaussian rng) in
+  finite_diff_check
+    ~build:(fun () ->
+      let tape = Autodiff.Tape.create () in
+      let xo = Autodiff.const tape x in
+      let y = Layers.forward_linear tape layer xo in
+      let left = Autodiff.slice_cols tape y ~lo:0 ~hi:3 in
+      let right = Autodiff.slice_cols tape y ~lo:3 ~hi:6 in
+      let h = Autodiff.mul tape left (Autodiff.exp_ tape right) in
+      (tape, Autodiff.mean_all tape (Autodiff.sum_rows tape h)))
+    ~params:(Layers.linear_params layer) ~eps:1e-5 ~tol:1e-4
+
+let test_backward_rejects_non_scalar () =
+  let tape = Autodiff.Tape.create () in
+  let x = Autodiff.const tape (Tensor.zeros [| 2 |]) in
+  Alcotest.(check bool) "raises" true
+    (match Autodiff.backward tape x with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_param_grad_accumulates () =
+  let p = Autodiff.Param.create "p" (Tensor.ones [| 2 |]) in
+  let run () =
+    let tape = Autodiff.Tape.create () in
+    let n = Autodiff.of_param tape p in
+    Autodiff.backward tape (Autodiff.sum_all tape n)
+  in
+  run ();
+  run ();
+  Alcotest.(check (float 1e-12)) "accumulated twice" 2.0 (Tensor.get p.Autodiff.Param.grad 0);
+  Autodiff.Param.zero_grad p;
+  Alcotest.(check (float 1e-12)) "zeroed" 0.0 (Tensor.get p.Autodiff.Param.grad 0)
+
+(* --- optimizers --- *)
+
+let test_sgd_descends_quadratic () =
+  let p = Autodiff.Param.create "x" (Tensor.of_array [| 1 |] [| 5.0 |]) in
+  let opt = Optim.sgd ~lr:0.1 [ p ] in
+  for _ = 1 to 100 do
+    Optim.zero_grad opt;
+    let tape = Autodiff.Tape.create () in
+    let x = Autodiff.of_param tape p in
+    Autodiff.backward tape (Autodiff.sum_all tape (Autodiff.square tape x));
+    Optim.step opt
+  done;
+  Alcotest.(check bool) "near zero" true (Float.abs (Tensor.get p.Autodiff.Param.data 0) < 1e-3)
+
+let test_adam_descends_rosenbrock_1d () =
+  (* minimize (x - 3)^2 with Adam *)
+  let p = Autodiff.Param.create "x" (Tensor.of_array [| 1 |] [| -2.0 |]) in
+  let opt = Optim.adam ~lr:0.1 [ p ] in
+  for _ = 1 to 500 do
+    Optim.zero_grad opt;
+    let tape = Autodiff.Tape.create () in
+    let x = Autodiff.of_param tape p in
+    let diff = Autodiff.add_scalar tape (-3.0) x in
+    Autodiff.backward tape (Autodiff.sum_all tape (Autodiff.square tape diff));
+    Optim.step opt
+  done;
+  Alcotest.(check bool) "converges to 3" true
+    (Float.abs (Tensor.get p.Autodiff.Param.data 0 -. 3.0) < 1e-2)
+
+let test_clip_grad_norm () =
+  let p = Autodiff.Param.create "p" (Tensor.zeros [| 4 |]) in
+  Tensor.fill_inplace p.Autodiff.Param.grad 3.0;
+  (* norm = 6 *)
+  let opt = Optim.sgd ~lr:1.0 [ p ] in
+  let norm = Optim.clip_grad_norm opt 1.5 in
+  Alcotest.(check (float 1e-9)) "reported pre-clip norm" 6.0 norm;
+  let new_norm =
+    sqrt
+      (Array.fold_left
+         (fun acc g -> acc +. (g *. g))
+         0.0 p.Autodiff.Param.grad.Tensor.data)
+  in
+  Alcotest.(check (float 1e-9)) "clipped to max" 1.5 new_norm
+
+(* --- distributions --- *)
+
+let test_masked_log_probs_excludes () =
+  let tape = Autodiff.Tape.create () in
+  let logits = Autodiff.const tape (Tensor.zeros [| 1; 4 |]) in
+  let lp =
+    Distributions.masked_log_probs tape logits
+      ~mask:[| [| true; false; true; false |] |]
+  in
+  let v = Autodiff.value lp in
+  Alcotest.(check bool) "masked ~ -inf" true (Tensor.get2 v 0 1 < -20.0);
+  Alcotest.(check (float 1e-6)) "valid uniform" (log 0.5) (Tensor.get2 v 0 0)
+
+let test_masked_log_probs_rejects_empty () =
+  let tape = Autodiff.Tape.create () in
+  let logits = Autodiff.const tape (Tensor.zeros [| 1; 2 |]) in
+  Alcotest.(check bool) "raises" true
+    (match Distributions.masked_log_probs tape logits ~mask:[| [| false; false |] |] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_sample_respects_mask () =
+  let rng = Util.Rng.create 8 in
+  let tape = Autodiff.Tape.create () in
+  let logits = Autodiff.const tape (Tensor.zeros [| 1; 5 |]) in
+  let lp =
+    Distributions.masked_log_probs tape logits
+      ~mask:[| [| false; true; false; true; false |] |]
+  in
+  for _ = 1 to 200 do
+    let c = Distributions.sample rng (Autodiff.value lp) 0 in
+    Alcotest.(check bool) "only unmasked" true (c = 1 || c = 3)
+  done
+
+let test_sample_distribution_matches () =
+  let rng = Util.Rng.create 9 in
+  let tape = Autodiff.Tape.create () in
+  (* logits ln(1), ln(3): probabilities 0.25 / 0.75 *)
+  let logits = Autodiff.const tape (Tensor.of_array [| 1; 2 |] [| 0.0; log 3.0 |]) in
+  let lp = Distributions.masked_log_probs tape logits ~mask:[| [| true; true |] |] in
+  let counts = [| 0; 0 |] in
+  let n = 20_000 in
+  for _ = 1 to n do
+    let c = Distributions.sample rng (Autodiff.value lp) 0 in
+    counts.(c) <- counts.(c) + 1
+  done;
+  let p1 = float_of_int counts.(1) /. float_of_int n in
+  Alcotest.(check bool) "frequency near 0.75" true (Float.abs (p1 -. 0.75) < 0.02)
+
+let test_entropy_uniform_max () =
+  let tape = Autodiff.Tape.create () in
+  let uniform = Autodiff.const tape (Tensor.zeros [| 1; 4 |]) in
+  let lp_u =
+    Distributions.masked_log_probs tape uniform ~mask:[| Array.make 4 true |]
+  in
+  let h_u = Tensor.get (Autodiff.value (Distributions.entropy tape lp_u)) 0 in
+  Alcotest.(check (float 1e-6)) "ln 4" (log 4.0) h_u;
+  let peaked =
+    Autodiff.const tape (Tensor.of_array [| 1; 4 |] [| 50.0; 0.0; 0.0; 0.0 |])
+  in
+  let lp_p =
+    Distributions.masked_log_probs tape peaked ~mask:[| Array.make 4 true |]
+  in
+  let h_p = Tensor.get (Autodiff.value (Distributions.entropy tape lp_p)) 0 in
+  Alcotest.(check bool) "peaked lower" true (h_p < h_u)
+
+let qcheck_log_probs_normalized =
+  QCheck.Test.make ~name:"masked log-probs sum to 1 over valid entries" ~count:100
+    QCheck.(pair (int_range 0 999) (int_range 2 8))
+    (fun (seed, k) ->
+      let rng = Util.Rng.create seed in
+      let tape = Autodiff.Tape.create () in
+      let logits =
+        Autodiff.const tape (Tensor.init [| 1; k |] (fun _ -> Util.Rng.gaussian rng))
+      in
+      let mask = Array.init k (fun i -> i = 0 || Util.Rng.bool rng) in
+      let lp = Distributions.masked_log_probs tape logits ~mask:[| mask |] in
+      let total = ref 0.0 in
+      for j = 0 to k - 1 do
+        total := !total +. exp (Tensor.get2 (Autodiff.value lp) 0 j)
+      done;
+      Float.abs (!total -. 1.0) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "tensor create" `Quick test_tensor_create;
+    Alcotest.test_case "of_array validates" `Quick test_tensor_of_array_validates;
+    Alcotest.test_case "matmul known" `Quick test_tensor_matmul_known;
+    Alcotest.test_case "matmul transposes agree" `Quick test_tensor_matmul_transposes_agree;
+    Alcotest.test_case "add_bias" `Quick test_tensor_add_bias;
+    Alcotest.test_case "sum_rows/argmax" `Quick test_tensor_sum_rows_argmax;
+    Alcotest.test_case "reshape" `Quick test_tensor_reshape;
+    Alcotest.test_case "grad: linear+relu" `Quick test_grad_linear_relu;
+    Alcotest.test_case "grad: log_softmax+gather" `Quick test_grad_log_softmax_gather;
+    Alcotest.test_case "grad: PPO-style loss" `Quick test_grad_ppo_style_loss;
+    Alcotest.test_case "grad: slice+sum_rows" `Quick test_grad_slice_sum_rows;
+    Alcotest.test_case "backward rejects non-scalar" `Quick test_backward_rejects_non_scalar;
+    Alcotest.test_case "param grad accumulates" `Quick test_param_grad_accumulates;
+    Alcotest.test_case "sgd descends" `Quick test_sgd_descends_quadratic;
+    Alcotest.test_case "adam converges" `Quick test_adam_descends_rosenbrock_1d;
+    Alcotest.test_case "clip grad norm" `Quick test_clip_grad_norm;
+    Alcotest.test_case "mask excludes" `Quick test_masked_log_probs_excludes;
+    Alcotest.test_case "mask rejects empty" `Quick test_masked_log_probs_rejects_empty;
+    Alcotest.test_case "sample respects mask" `Quick test_sample_respects_mask;
+    Alcotest.test_case "sample distribution" `Quick test_sample_distribution_matches;
+    Alcotest.test_case "entropy uniform max" `Quick test_entropy_uniform_max;
+    QCheck_alcotest.to_alcotest qcheck_log_probs_normalized;
+  ]

@@ -1,0 +1,61 @@
+(* Measurement noise in the evaluator. *)
+
+let op () = Linalg.matmul ~m:128 ~n:128 ~k:128 ()
+
+let test_noiseless_is_deterministic () =
+  let ev = Evaluator.create () in
+  let st = Result.get_ok (Sched_state.apply_all (op ()) [ Schedule.Vectorize ]) in
+  let a = Evaluator.state_seconds ev st in
+  let b = Evaluator.state_seconds ev st in
+  Alcotest.(check (float 1e-15)) "no jitter" a b
+
+let test_noise_jitters_measurements () =
+  let ev = Evaluator.create ~noise:0.1 ~noise_seed:3 () in
+  let st = Result.get_ok (Sched_state.apply_all (op ()) [ Schedule.Vectorize ]) in
+  let a = Evaluator.state_seconds ev st in
+  let b = Evaluator.state_seconds ev st in
+  Alcotest.(check bool) "measurements differ" true (Float.abs (a -. b) > 0.0)
+
+let test_noise_seed_reproducible () =
+  let run () =
+    let ev = Evaluator.create ~noise:0.1 ~noise_seed:7 () in
+    let st = Result.get_ok (Sched_state.apply_all (op ()) [ Schedule.Vectorize ]) in
+    List.init 5 (fun _ -> Evaluator.state_seconds ev st)
+  in
+  List.iter2
+    (fun a b -> Alcotest.(check (float 1e-15)) "same stream" a b)
+    (run ()) (run ())
+
+let test_noise_unbiased_in_log () =
+  (* Log-normal jitter: the mean of log measurements matches the
+     noiseless log time. *)
+  let clean = Evaluator.create () in
+  let noisy = Evaluator.create ~noise:0.1 ~noise_seed:5 () in
+  let st = Result.get_ok (Sched_state.apply_all (op ()) [ Schedule.Vectorize ]) in
+  let truth = log (Evaluator.state_seconds clean st) in
+  let n = 2000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. log (Evaluator.state_seconds noisy st)
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "log-mean %.4f vs %.4f" mean truth)
+    true
+    (Float.abs (mean -. truth) < 0.02)
+
+let test_base_times_stay_clean () =
+  let noisy = Evaluator.create ~noise:0.5 ~noise_seed:5 () in
+  let o = op () in
+  let a = Evaluator.base_seconds noisy o in
+  let b = Evaluator.base_seconds noisy o in
+  Alcotest.(check (float 1e-15)) "base cached and clean" a b
+
+let suite =
+  [
+    Alcotest.test_case "noiseless deterministic" `Quick test_noiseless_is_deterministic;
+    Alcotest.test_case "noise jitters" `Quick test_noise_jitters_measurements;
+    Alcotest.test_case "noise seed reproducible" `Quick test_noise_seed_reproducible;
+    Alcotest.test_case "noise unbiased in log" `Quick test_noise_unbiased_in_log;
+    Alcotest.test_case "base times clean" `Quick test_base_times_stay_clean;
+  ]

@@ -1,0 +1,65 @@
+(* CLI operation specs. *)
+
+let parse_ok s =
+  match Op_spec.parse s with
+  | Ok op -> op
+  | Error e -> Alcotest.failf "parse %S failed: %s" s e
+
+let test_matmul_spec () =
+  let op = parse_ok "matmul:64x128x256" in
+  Alcotest.(check (array int)) "domain" [| 64; 128; 256 |] op.Linalg.domain
+
+let test_conv_spec () =
+  let op = parse_ok "conv2d:56x56x64,k3,f128,s1" in
+  Alcotest.(check string) "kind" "conv2d" (Linalg.kind_name op);
+  Alcotest.(check (array int)) "domain" [| 1; 54; 54; 128; 3; 3; 64 |] op.Linalg.domain
+
+let test_conv_spec_batch () =
+  let op = parse_ok "conv2d:28x28x32,k1,f64,s1,b4" in
+  Alcotest.(check int) "batch" 4 op.Linalg.domain.(0)
+
+let test_maxpool_spec () =
+  let op = parse_ok "maxpool:112x112x64,k2,s2" in
+  Alcotest.(check string) "kind" "maxpool" (Linalg.kind_name op);
+  Alcotest.(check (array int)) "domain" [| 1; 56; 56; 64; 2; 2 |] op.Linalg.domain
+
+let test_elementwise_specs () =
+  Alcotest.(check (array int)) "add" [| 1024; 512 |] (parse_ok "add:1024x512").Linalg.domain;
+  Alcotest.(check (array int)) "relu 4d" [| 1; 7; 7; 512 |]
+    (parse_ok "relu:1x7x7x512").Linalg.domain
+
+let test_bad_specs () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " rejected") true (Result.is_error (Op_spec.parse s)))
+    [
+      "matmul:64x128"; "matmul:64x128x0"; "conv2d:56x56x64"; "conv2d:56x56x64,k3,s1";
+      "softmax:64"; "matmul"; "add:"; "maxpool:8x8x4,k16,s2"; "add:1x2x3x4x5";
+    ]
+
+let test_examples_parse () =
+  List.iter (fun s -> ignore (parse_ok s)) Op_spec.examples
+
+let test_to_spec_roundtrip () =
+  List.iter
+    (fun s ->
+      let op = parse_ok s in
+      match Op_spec.to_spec op with
+      | None -> Alcotest.failf "no spec for %s" s
+      | Some s2 ->
+          let op2 = parse_ok s2 in
+          Alcotest.(check (array int)) (s ^ " domain survives") op.Linalg.domain
+            op2.Linalg.domain)
+    Op_spec.examples
+
+let suite =
+  [
+    Alcotest.test_case "matmul spec" `Quick test_matmul_spec;
+    Alcotest.test_case "conv spec" `Quick test_conv_spec;
+    Alcotest.test_case "conv batch" `Quick test_conv_spec_batch;
+    Alcotest.test_case "maxpool spec" `Quick test_maxpool_spec;
+    Alcotest.test_case "elementwise specs" `Quick test_elementwise_specs;
+    Alcotest.test_case "bad specs rejected" `Quick test_bad_specs;
+    Alcotest.test_case "examples parse" `Quick test_examples_parse;
+    Alcotest.test_case "to_spec roundtrip" `Quick test_to_spec_roundtrip;
+  ]

@@ -1,0 +1,129 @@
+(* Linear pipelines: validation, greedy fusion, whole-chain scheduling. *)
+
+let chain shape =
+  [
+    { Pipeline.stage_name = "add"; op = Linalg.add shape };
+    { Pipeline.stage_name = "relu"; op = Linalg.relu shape };
+  ]
+
+let test_validate_ok () =
+  Alcotest.(check bool) "chains" true (Pipeline.validate (chain [| 4; 8 |]) = Ok ())
+
+let test_validate_rejects_mismatch () =
+  let bad =
+    [
+      { Pipeline.stage_name = "a"; op = Linalg.add [| 4; 8 |] };
+      { Pipeline.stage_name = "b"; op = Linalg.relu [| 8; 8 |] };
+    ]
+  in
+  Alcotest.(check bool) "mismatch" true (Result.is_error (Pipeline.validate bad))
+
+let test_validate_rejects_empty () =
+  Alcotest.(check bool) "empty" true (Result.is_error (Pipeline.validate []))
+
+let test_fuse_elementwise_merges () =
+  let fused = Pipeline.fuse_elementwise (chain [| 4; 8 |]) in
+  Alcotest.(check int) "one stage" 1 (List.length fused);
+  Alcotest.(check string) "name" "add+relu" (List.hd fused).Pipeline.stage_name
+
+let test_fuse_stops_at_reductions () =
+  let p =
+    [
+      { Pipeline.stage_name = "bias"; op = Linalg.bias_add [| 4; 16 |] };
+      { Pipeline.stage_name = "relu"; op = Linalg.relu [| 4; 16 |] };
+      { Pipeline.stage_name = "mm"; op = Linalg.matmul ~m:4 ~n:8 ~k:16 () };
+      { Pipeline.stage_name = "relu2"; op = Linalg.relu [| 4; 8 |] };
+    ]
+  in
+  let fused = Pipeline.fuse_elementwise p in
+  (* bias+relu fuse into the matmul's A operand as well (elementwise
+     producer into reduction consumer is legal), then matmul cannot fuse
+     into relu2 because matmul is not elementwise. *)
+  Alcotest.(check (list string)) "stage names" [ "bias+relu+mm"; "relu2" ]
+    (List.map (fun s -> s.Pipeline.stage_name) fused)
+
+let test_chain_execution_matches_fused () =
+  let shape = [| 4; 6 |] in
+  let p = chain shape in
+  let rng = Util.Rng.create 2 in
+  let x = Test_helpers.buffer_of rng 24 in
+  let y = Test_helpers.buffer_of rng 24 in
+  let unfused =
+    Pipeline.execute_reference p ~first_input:x ~extra_inputs:[ ("add/in1", y) ]
+  in
+  let fused = Pipeline.fuse_elementwise p in
+  let fused_out =
+    Pipeline.execute_reference fused ~first_input:x
+      ~extra_inputs:[ ("add+relu/p_in1", y) ]
+  in
+  Test_helpers.check_close "fusion preserves chain" fused_out unfused
+
+let test_deep_chain_execution () =
+  (* add -> relu -> mul(.,w) -> exp, fused to a single op. *)
+  let shape = [| 3; 5 |] in
+  let p =
+    [
+      { Pipeline.stage_name = "add"; op = Linalg.add shape };
+      { Pipeline.stage_name = "relu"; op = Linalg.relu shape };
+      { Pipeline.stage_name = "mul"; op = Linalg.binary Linalg.Mul_k shape };
+      { Pipeline.stage_name = "exp"; op = Linalg.unary Linalg.Exp_k shape };
+    ]
+  in
+  let rng = Util.Rng.create 3 in
+  let x = Test_helpers.buffer_of rng 15 in
+  let y = Test_helpers.buffer_of rng 15 in
+  let w = Test_helpers.buffer_of rng 15 in
+  let expected =
+    Pipeline.execute_reference p ~first_input:x
+      ~extra_inputs:[ ("add/in1", y); ("mul/in1", w) ]
+  in
+  let fused = Pipeline.fuse_elementwise p in
+  Alcotest.(check int) "single fused stage" 1 (List.length fused);
+  let got =
+    Pipeline.execute_reference fused ~first_input:x
+      ~extra_inputs:
+        [ ("add+relu+mul+exp/p_p_p_in1", y); ("add+relu+mul+exp/p_in1", w) ]
+  in
+  Test_helpers.check_close "deep fusion" got expected
+
+let test_schedule_report () =
+  let ev = Evaluator.create () in
+  let p = chain [| 1024; 1024 |] in
+  let report =
+    Pipeline.schedule
+      ~base_seconds:(Evaluator.base_seconds ev)
+      ~scheduler:(fun op ->
+        let r = Beam_search.search ev op in
+        (r.Beam_search.best_schedule, r.Beam_search.best_speedup))
+      p
+  in
+  Alcotest.(check int) "two stages" 2 (List.length report.Pipeline.stages);
+  Alcotest.(check bool) "scheduling helps" true
+    (report.Pipeline.total_scheduled < report.Pipeline.total_base);
+  (* fusing first then scheduling beats scheduling the raw chain *)
+  let fused_report =
+    Pipeline.schedule
+      ~base_seconds:(Evaluator.base_seconds ev)
+      ~scheduler:(fun op ->
+        let r = Beam_search.search ev op in
+        (r.Beam_search.best_schedule, r.Beam_search.best_speedup))
+      (Pipeline.fuse_elementwise p)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "fused %.3g < unfused %.3g" fused_report.Pipeline.total_scheduled
+       report.Pipeline.total_scheduled)
+    true
+    (fused_report.Pipeline.total_scheduled < report.Pipeline.total_scheduled)
+
+let suite =
+  [
+    Alcotest.test_case "validate ok" `Quick test_validate_ok;
+    Alcotest.test_case "validate mismatch" `Quick test_validate_rejects_mismatch;
+    Alcotest.test_case "validate empty" `Quick test_validate_rejects_empty;
+    Alcotest.test_case "fuse merges" `Quick test_fuse_elementwise_merges;
+    Alcotest.test_case "fuse stops at reductions" `Quick test_fuse_stops_at_reductions;
+    Alcotest.test_case "chain execution matches fused" `Quick
+      test_chain_execution_matches_fused;
+    Alcotest.test_case "deep chain execution" `Quick test_deep_chain_execution;
+    Alcotest.test_case "schedule report" `Quick test_schedule_report;
+  ]

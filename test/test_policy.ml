@@ -1,0 +1,130 @@
+(* Multi-action policy network: action validity, log-prob consistency
+   between sampling and batch re-evaluation, and the flat ablation
+   policy. *)
+
+let cfg = Env_config.default
+
+let test_action_within_masks () =
+  let rng = Util.Rng.create 31 in
+  let policy = Policy.create ~hidden:16 ~backbone_layers:2 rng cfg in
+  let st = Sched_state.init (Test_helpers.small_matmul ()) in
+  let obs = Observation.extract cfg st in
+  let masks = Action_space.masks cfg st in
+  for _ = 1 to 100 do
+    let action, _, _ = Policy.act rng policy ~obs ~masks in
+    Alcotest.(check bool) "transform allowed" true
+      masks.Action_space.t_mask.(action.Action_space.transform);
+    if action.Action_space.transform = Action_space.t_tile then
+      Array.iteri
+        (fun l c ->
+          Alcotest.(check bool) "tile choice masked" true
+            masks.Action_space.tile_mask.(l).(c))
+        action.Action_space.tile_choices;
+    if action.Action_space.transform = Action_space.t_parallelize then
+      Array.iteri
+        (fun l c ->
+          Alcotest.(check bool) "par choice masked" true
+            masks.Action_space.par_mask.(l).(c))
+        action.Action_space.tile_choices;
+    if action.Action_space.transform = Action_space.t_interchange then
+      Alcotest.(check bool) "swap masked" true
+        masks.Action_space.swap_mask.(action.Action_space.swap_choice)
+  done
+
+let test_logp_matches_evaluate () =
+  (* The log-prob returned by act must equal the one evaluate recomputes
+     for the same (obs, action, masks). *)
+  let rng = Util.Rng.create 32 in
+  let policy = Policy.create ~hidden:16 ~backbone_layers:2 rng cfg in
+  let st = Sched_state.init (Test_helpers.small_conv ()) in
+  let obs = Observation.extract cfg st in
+  let masks = Action_space.masks cfg st in
+  let pp = Policy.ppo_policy policy in
+  for _ = 1 to 25 do
+    let action, logp, value = Policy.act rng policy ~obs ~masks in
+    let tape = Autodiff.Tape.create () in
+    let ev =
+      pp.Ppo.evaluate tape
+        [| { Policy.s_obs = obs; s_action = action; s_masks = masks } |]
+    in
+    Alcotest.(check (float 1e-6)) "log prob consistent" logp
+      (Tensor.get (Autodiff.value ev.Ppo.log_prob) 0);
+    Alcotest.(check (float 1e-6)) "value consistent" value
+      (Tensor.get (Autodiff.value ev.Ppo.value) 0)
+  done
+
+let test_greedy_deterministic () =
+  let rng = Util.Rng.create 33 in
+  let policy = Policy.create ~hidden:16 ~backbone_layers:2 rng cfg in
+  let st = Sched_state.init (Test_helpers.small_matmul ()) in
+  let obs = Observation.extract cfg st in
+  let masks = Action_space.masks cfg st in
+  let a1 = Policy.act_greedy policy ~obs ~masks in
+  let a2 = Policy.act_greedy policy ~obs ~masks in
+  Alcotest.(check bool) "same action" true (a1 = a2)
+
+let test_entropy_positive () =
+  let rng = Util.Rng.create 34 in
+  let policy = Policy.create ~hidden:16 ~backbone_layers:2 rng cfg in
+  let st = Sched_state.init (Test_helpers.small_matmul ()) in
+  let obs = Observation.extract cfg st in
+  let masks = Action_space.masks cfg st in
+  let action, _, _ = Policy.act rng policy ~obs ~masks in
+  let tape = Autodiff.Tape.create () in
+  let ev =
+    (Policy.ppo_policy policy).Ppo.evaluate tape
+      [| { Policy.s_obs = obs; s_action = action; s_masks = masks } |]
+  in
+  Alcotest.(check bool) "entropy > 0" true
+    (Tensor.get (Autodiff.value ev.Ppo.entropy) 0 > 0.0)
+
+let test_param_count_scales () =
+  let rng = Util.Rng.create 35 in
+  let small = Policy.create ~hidden:8 ~backbone_layers:1 rng cfg in
+  let large = Policy.create ~hidden:64 ~backbone_layers:2 rng cfg in
+  Alcotest.(check bool) "more params" true
+    (Policy.param_count large > Policy.param_count small)
+
+let test_paper_sized_network () =
+  (* The default (512x4 backbone) builds and has millions of params. *)
+  let rng = Util.Rng.create 36 in
+  let policy = Policy.create rng cfg in
+  Alcotest.(check bool) "at least 1M params" true (Policy.param_count policy > 1_000_000)
+
+let test_flat_policy_act_and_evaluate () =
+  let rng = Util.Rng.create 37 in
+  let policy = Flat_policy.create ~hidden:16 ~backbone_layers:2 rng cfg ~n_loops:3 in
+  let st = Sched_state.init (Test_helpers.small_matmul ()) in
+  let obs = Observation.extract cfg st in
+  let menu = Flat_policy.menu policy in
+  let mask = Action_space.simple_mask cfg st menu in
+  let choice, logp, _ = Flat_policy.act rng policy ~obs ~mask in
+  Alcotest.(check bool) "choice masked" true mask.(choice);
+  let tape = Autodiff.Tape.create () in
+  let ev =
+    (Flat_policy.ppo_policy policy).Ppo.evaluate tape
+      [| { Flat_policy.f_obs = obs; f_choice = choice; f_mask = mask } |]
+  in
+  Alcotest.(check (float 1e-6)) "logp consistent" logp
+    (Tensor.get (Autodiff.value ev.Ppo.log_prob) 0)
+
+let test_flat_greedy_masked () =
+  let rng = Util.Rng.create 38 in
+  let policy = Flat_policy.create ~hidden:16 ~backbone_layers:1 rng cfg ~n_loops:3 in
+  let st = Sched_state.init (Test_helpers.small_matmul ()) in
+  let obs = Observation.extract cfg st in
+  let mask = Action_space.simple_mask cfg st (Flat_policy.menu policy) in
+  let c = Flat_policy.act_greedy policy ~obs ~mask in
+  Alcotest.(check bool) "greedy masked" true mask.(c)
+
+let suite =
+  [
+    Alcotest.test_case "actions within masks" `Quick test_action_within_masks;
+    Alcotest.test_case "logp matches evaluate" `Quick test_logp_matches_evaluate;
+    Alcotest.test_case "greedy deterministic" `Quick test_greedy_deterministic;
+    Alcotest.test_case "entropy positive" `Quick test_entropy_positive;
+    Alcotest.test_case "param count scales" `Quick test_param_count_scales;
+    Alcotest.test_case "paper-sized network" `Quick test_paper_sized_network;
+    Alcotest.test_case "flat policy act/evaluate" `Quick test_flat_policy_act_and_evaluate;
+    Alcotest.test_case "flat greedy masked" `Quick test_flat_greedy_masked;
+  ]

@@ -1,0 +1,105 @@
+(* Weight persistence. *)
+
+let temp_file () = Filename.temp_file "mlir_rl_test" ".params"
+
+let test_roundtrip_params () =
+  let rng = Util.Rng.create 1 in
+  let mlp = Layers.mlp rng ~dims:[ 3; 5; 2 ] "m" in
+  let params = Layers.mlp_params mlp in
+  let path = temp_file () in
+  Serialize.save_params path params;
+  let rng2 = Util.Rng.create 99 in
+  let mlp2 = Layers.mlp rng2 ~dims:[ 3; 5; 2 ] "m" in
+  let params2 = Layers.mlp_params mlp2 in
+  Alcotest.(check bool) "initially different" false
+    (Serialize.params_equal params params2);
+  (match Serialize.load_params path params2 with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "identical after load" true
+    (Serialize.params_equal params params2);
+  Sys.remove path
+
+let test_load_rejects_shape_mismatch () =
+  let rng = Util.Rng.create 1 in
+  let a = Layers.mlp_params (Layers.mlp rng ~dims:[ 3; 5; 2 ] "m") in
+  let b = Layers.mlp_params (Layers.mlp rng ~dims:[ 3; 4; 2 ] "m") in
+  let path = temp_file () in
+  Serialize.save_params path a;
+  Alcotest.(check bool) "shape mismatch rejected" true
+    (Result.is_error (Serialize.load_params path b));
+  Sys.remove path
+
+let test_load_rejects_name_mismatch () =
+  let rng = Util.Rng.create 1 in
+  let a = Layers.mlp_params (Layers.mlp rng ~dims:[ 3; 2 ] "alpha") in
+  let b = Layers.mlp_params (Layers.mlp rng ~dims:[ 3; 2 ] "beta") in
+  let path = temp_file () in
+  Serialize.save_params path a;
+  Alcotest.(check bool) "name mismatch rejected" true
+    (Result.is_error (Serialize.load_params path b));
+  Sys.remove path
+
+let test_load_rejects_garbage () =
+  let path = temp_file () in
+  let oc = open_out path in
+  output_string oc "not a parameter file\n";
+  close_out oc;
+  let rng = Util.Rng.create 1 in
+  let params = Layers.mlp_params (Layers.mlp rng ~dims:[ 2; 2 ] "m") in
+  Alcotest.(check bool) "rejected" true
+    (Result.is_error (Serialize.load_params path params));
+  Sys.remove path
+
+let test_load_missing_file () =
+  let rng = Util.Rng.create 1 in
+  let params = Layers.mlp_params (Layers.mlp rng ~dims:[ 2; 2 ] "m") in
+  Alcotest.(check bool) "missing file" true
+    (Result.is_error (Serialize.load_params "/nonexistent/file.params" params))
+
+let test_policy_roundtrip_behaviour () =
+  (* A restored policy must make the same greedy decisions. *)
+  let cfg = Env_config.default in
+  let rng = Util.Rng.create 7 in
+  let p1 = Policy.create ~hidden:16 ~backbone_layers:1 rng cfg in
+  let p2 = Policy.create ~hidden:16 ~backbone_layers:1 (Util.Rng.create 8) cfg in
+  let path = temp_file () in
+  Policy.save p1 path;
+  (match Policy.load p2 path with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let st = Sched_state.init (Test_helpers.small_matmul ()) in
+  let obs = Observation.extract cfg st in
+  let masks = Action_space.masks cfg st in
+  let a1 = Policy.act_greedy p1 ~obs ~masks in
+  let a2 = Policy.act_greedy p2 ~obs ~masks in
+  Alcotest.(check bool) "same greedy action" true (a1 = a2);
+  Sys.remove path
+
+let test_exact_float_roundtrip () =
+  (* %h hex floats restore bit-exactly, including awkward values. *)
+  let p =
+    Autodiff.Param.create "x"
+      (Tensor.of_array [| 4 |] [| 1.0 /. 3.0; -0.0; 1e-300; 12345.6789 |])
+  in
+  let path = temp_file () in
+  Serialize.save_params path [ p ];
+  let q = Autodiff.Param.create "x" (Tensor.zeros [| 4 |]) in
+  (match Serialize.load_params path [ q ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "bit exact" true
+    (Tensor.equal p.Autodiff.Param.data q.Autodiff.Param.data);
+  Sys.remove path
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip params" `Quick test_roundtrip_params;
+    Alcotest.test_case "rejects shape mismatch" `Quick test_load_rejects_shape_mismatch;
+    Alcotest.test_case "rejects name mismatch" `Quick test_load_rejects_name_mismatch;
+    Alcotest.test_case "rejects garbage" `Quick test_load_rejects_garbage;
+    Alcotest.test_case "missing file" `Quick test_load_missing_file;
+    Alcotest.test_case "policy roundtrip behaviour" `Quick
+      test_policy_roundtrip_behaviour;
+    Alcotest.test_case "exact float roundtrip" `Quick test_exact_float_roundtrip;
+  ]

@@ -1,0 +1,181 @@
+(* Semantic-preservation and structural tests for loop transformations. *)
+
+let check = Test_helpers.check_schedule_preserves
+
+let test_divisors () =
+  Alcotest.(check (list int)) "12" [ 1; 2; 3; 4; 6; 12 ] (Loop_transforms.divisors 12);
+  Alcotest.(check (list int)) "7" [ 1; 7 ] (Loop_transforms.divisors 7);
+  Alcotest.(check bool) "rejects 0" true
+    (match Loop_transforms.divisors 0 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_tile_preserves () = check (Test_helpers.small_matmul ()) [ Schedule.Tile [| 4; 4; 8 |] ]
+
+let test_tile_partial_preserves () =
+  check (Test_helpers.small_matmul ()) [ Schedule.Tile [| 0; 6; 0 |] ]
+
+let test_multi_level_tiling_preserves () =
+  check (Test_helpers.small_matmul ())
+    [ Schedule.Tile [| 4; 0; 8 |]; Schedule.Tile [| 2; 4; 2 |] ]
+
+let test_interchange_preserves () =
+  check (Test_helpers.small_matmul ()) [ Schedule.Interchange [| 2; 0; 1 |] ]
+
+let test_swap_preserves () = check (Test_helpers.small_matmul ()) [ Schedule.Swap 1 ]
+
+let test_parallelize_preserves () =
+  check (Test_helpers.small_matmul ()) [ Schedule.Parallelize [| 4; 4; 0 |] ]
+
+let test_vectorize_preserves () =
+  check (Test_helpers.small_matmul ()) [ Schedule.Vectorize ]
+
+let test_full_pipeline_preserves () =
+  check (Test_helpers.small_matmul ())
+    [
+      Schedule.Parallelize [| 4; 6; 0 |];
+      Schedule.Tile [| 2; 3; 4 |];
+      Schedule.Swap 0;
+      Schedule.Vectorize;
+    ]
+
+let test_conv_tiling_preserves () =
+  check (Test_helpers.small_conv ()) [ Schedule.Tile [| 0; 3; 2; 2; 0; 0; 0 |] ]
+
+let test_conv_interchange_preserves () =
+  check (Test_helpers.small_conv ()) [ Schedule.Swap 3; Schedule.Swap 2 ]
+
+let test_maxpool_schedule_preserves () =
+  check (Test_helpers.small_maxpool ())
+    [ Schedule.Parallelize [| 0; 2; 2; 0; 0; 0 |]; Schedule.Vectorize ]
+
+let test_tile_structure () =
+  let op = Test_helpers.small_matmul () in
+  let nest = Lower.to_loop_nest op in
+  match Loop_transforms.tile [| 4; 0; 8 |] nest with
+  | Error e -> Alcotest.fail e
+  | Ok t ->
+      Alcotest.(check int) "5 loops" 5 (Loop_nest.n_loops t);
+      Alcotest.(check (array int)) "trips" [| 2; 2; 4; 12; 8 |] (Loop_nest.trip_counts t);
+      Alcotest.(check int) "point band starts at 2" 2 (Loop_transforms.point_band_start t)
+
+let test_tile_rejects_non_divisor () =
+  let nest = Lower.to_loop_nest (Test_helpers.small_matmul ()) in
+  Alcotest.(check bool) "error" true
+    (Result.is_error (Loop_transforms.tile [| 3; 0; 0 |] nest))
+
+let test_tile_rejects_all_zero () =
+  let nest = Lower.to_loop_nest (Test_helpers.small_matmul ()) in
+  Alcotest.(check bool) "error" true
+    (Result.is_error (Loop_transforms.tile [| 0; 0; 0 |] nest))
+
+let test_tile_rejects_bad_arity () =
+  let nest = Lower.to_loop_nest (Test_helpers.small_matmul ()) in
+  Alcotest.(check bool) "error" true
+    (Result.is_error (Loop_transforms.tile [| 2; 2 |] nest))
+
+let test_interchange_rejects_non_permutation () =
+  let nest = Lower.to_loop_nest (Test_helpers.small_matmul ()) in
+  Alcotest.(check bool) "error" true
+    (Result.is_error (Loop_transforms.interchange [| 0; 0; 1 |] nest))
+
+let test_swap_rejects_out_of_range () =
+  let nest = Lower.to_loop_nest (Test_helpers.small_matmul ()) in
+  Alcotest.(check bool) "error" true
+    (Result.is_error (Loop_transforms.swap_adjacent 2 nest))
+
+let test_interchange_targets_point_band () =
+  (* After tiling, interchange permutes the inner (point) loops only. *)
+  let op = Test_helpers.small_matmul () in
+  let nest = Lower.to_loop_nest op in
+  let tiled = Result.get_ok (Loop_transforms.tile [| 4; 4; 4 |] nest) in
+  let swapped = Result.get_ok (Loop_transforms.swap_adjacent 0 tiled) in
+  let outer_trips t = Array.sub (Loop_nest.trip_counts t) 0 3 in
+  Alcotest.(check (array int)) "tile band untouched" (outer_trips tiled)
+    (outer_trips swapped);
+  let band = Loop_transforms.point_band swapped in
+  Alcotest.(check (array int)) "point origins swapped" [| 1; 0; 2 |]
+    (Array.map (fun (l : Loop_nest.loop) -> l.Loop_nest.origin) band)
+
+let test_vectorize_marks_innermost () =
+  let nest = Lower.to_loop_nest (Test_helpers.small_matmul ()) in
+  let v = Result.get_ok (Loop_transforms.vectorize nest) in
+  Alcotest.(check bool) "flagged" true (Loop_transforms.is_vectorized v);
+  Alcotest.(check bool) "twice is error" true
+    (Result.is_error (Loop_transforms.vectorize v))
+
+let test_parallel_band_flag () =
+  let nest = Lower.to_loop_nest (Test_helpers.small_matmul ()) in
+  Alcotest.(check bool) "none yet" false (Loop_transforms.has_parallel_band nest);
+  let p = Result.get_ok (Loop_transforms.tile ~parallel:true [| 4; 0; 0 |] nest) in
+  Alcotest.(check bool) "parallel after" true (Loop_transforms.has_parallel_band p)
+
+let qcheck_random_schedules_preserve =
+  (* Any sequence of legal tiles/swaps on a small conv preserves
+     semantics. *)
+  QCheck.Test.make ~name:"random schedules preserve conv semantics" ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Util.Rng.create seed in
+      let op = Test_helpers.small_conv () in
+      let state = ref (Sched_state.init op) in
+      let steps = ref [] in
+      for _ = 1 to 3 do
+        let trips = Sched_state.point_trip_counts !state in
+        let action =
+          if Util.Rng.bool rng then begin
+            let sizes =
+              Array.map
+                (fun t ->
+                  let divs = Array.of_list (Loop_transforms.divisors t) in
+                  let d = Util.Rng.choice rng divs in
+                  if Util.Rng.bool rng || d = 1 then 0 else d)
+                trips
+            in
+            if Array.exists (fun s -> s > 0) sizes then Some (Schedule.Tile sizes)
+            else None
+          end
+          else Some (Schedule.Swap (Util.Rng.int rng (Array.length trips - 1)))
+        in
+        match action with
+        | None -> ()
+        | Some tr -> (
+            match Sched_state.apply !state tr with
+            | Ok st ->
+                state := st;
+                steps := tr :: !steps
+            | Error _ -> ())
+      done;
+      Test_helpers.check_schedule_preserves op (List.rev !steps);
+      true)
+
+let suite =
+  [
+    Alcotest.test_case "divisors" `Quick test_divisors;
+    Alcotest.test_case "tile preserves" `Quick test_tile_preserves;
+    Alcotest.test_case "partial tile preserves" `Quick test_tile_partial_preserves;
+    Alcotest.test_case "multi-level tiling preserves" `Quick
+      test_multi_level_tiling_preserves;
+    Alcotest.test_case "interchange preserves" `Quick test_interchange_preserves;
+    Alcotest.test_case "swap preserves" `Quick test_swap_preserves;
+    Alcotest.test_case "parallelize preserves" `Quick test_parallelize_preserves;
+    Alcotest.test_case "vectorize preserves" `Quick test_vectorize_preserves;
+    Alcotest.test_case "full pipeline preserves" `Quick test_full_pipeline_preserves;
+    Alcotest.test_case "conv tiling preserves" `Quick test_conv_tiling_preserves;
+    Alcotest.test_case "conv interchange preserves" `Quick
+      test_conv_interchange_preserves;
+    Alcotest.test_case "maxpool schedule preserves" `Quick
+      test_maxpool_schedule_preserves;
+    Alcotest.test_case "tile structure" `Quick test_tile_structure;
+    Alcotest.test_case "tile rejects non-divisor" `Quick test_tile_rejects_non_divisor;
+    Alcotest.test_case "tile rejects all-zero" `Quick test_tile_rejects_all_zero;
+    Alcotest.test_case "tile rejects bad arity" `Quick test_tile_rejects_bad_arity;
+    Alcotest.test_case "interchange rejects non-perm" `Quick
+      test_interchange_rejects_non_permutation;
+    Alcotest.test_case "swap rejects out of range" `Quick test_swap_rejects_out_of_range;
+    Alcotest.test_case "interchange targets point band" `Quick
+      test_interchange_targets_point_band;
+    Alcotest.test_case "vectorize marks innermost" `Quick test_vectorize_marks_innermost;
+    Alcotest.test_case "parallel band flag" `Quick test_parallel_band_flag;
+    QCheck_alcotest.to_alcotest qcheck_random_schedules_preserve;
+  ]
