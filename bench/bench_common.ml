@@ -62,6 +62,7 @@ let train_agent (c : config) ~ops =
   let t0 = Unix.gettimeofday () in
   let config =
     {
+      Trainer.default_config with
       Trainer.ppo = { Ppo.default_config with Ppo.entropy_coef = c.entropy_coef };
       iterations = c.train_iterations;
       seed = c.seed;

@@ -175,6 +175,7 @@ let quick_train ?(noise = 0.0) ?(entropy_coef = 0.01) ?features ~iterations seed
   let split = Generator.generate ~seed () in
   let config =
     {
+      Trainer.default_config with
       Trainer.ppo = { Ppo.default_config with Ppo.entropy_coef };
       iterations;
       seed;

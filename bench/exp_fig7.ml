@@ -15,6 +15,7 @@ let train_mode (c : Bench_common.config) ~mode ~op =
   in
   let config =
     {
+      Trainer.default_config with
       Trainer.ppo =
         { Ppo.default_config with Ppo.entropy_coef = c.Bench_common.entropy_coef };
       iterations = c.Bench_common.ablation_iterations;

@@ -15,6 +15,7 @@ let run_pair (c : Bench_common.config) op =
     (Action_space.cardinality cfg ~n_loops:(Linalg.n_loops op));
   let config =
     {
+      Trainer.default_config with
       Trainer.ppo =
         { Ppo.default_config with Ppo.entropy_coef = c.Bench_common.entropy_coef };
       iterations;

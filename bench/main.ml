@@ -13,7 +13,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [--fast] [table1] [table2] [fig5] [fig6] [fig7] [fig8] [ablation] [micro]";
+    "usage: main.exe [--fast] [table1] [table2] [fig5] [fig6] [fig7] [fig8] [ablation] [faults] [micro]";
   exit 2
 
 let () =
@@ -25,7 +25,8 @@ let () =
       if
         not
           (List.mem a
-             [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "ablation"; "micro" ])
+             [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "ablation";
+               "faults"; "micro" ])
       then begin
         Printf.printf "unknown experiment %S\n" a;
         usage ()
@@ -57,6 +58,7 @@ let () =
   if want "fig7" then Exp_fig7.run c;
   if want "fig8" then Exp_fig8.run c;
   if want "ablation" then Exp_ablation.run c (trained_agent ());
+  if want "faults" then Exp_faults.run c;
   if want "micro" then Micro.run ();
   Printf.printf "\nall experiments done in %.1f s wall-clock\n"
     (Unix.gettimeofday () -. t0)

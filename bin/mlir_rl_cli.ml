@@ -200,13 +200,43 @@ let dataset_cmd =
 (* --- train --- *)
 
 let train_cmd =
-  let run iterations hidden seed immediate specs save_path =
+  let run iterations hidden seed immediate specs save_path fault_rate fault_seed
+      noise checkpoint_path checkpoint_every resume =
     let cfg = Env_config.default in
     let cfg =
       if immediate then Env_config.with_reward_mode Env_config.Immediate cfg
       else cfg
     in
-    let env = Env.create cfg in
+    let evaluator =
+      Evaluator.create ~machine:cfg.Env_config.machine ~noise
+        ~noise_seed:(seed + 13) ()
+    in
+    if resume && checkpoint_path = None then begin
+      Format.eprintf "--resume requires --checkpoint PREFIX@.";
+      exit 2
+    end;
+    let robust =
+      if fault_rate > 0.0 then begin
+        let config = Faults.flaky ~rate:fault_rate () in
+        (match Faults.validate config with
+        | Ok () -> ()
+        | Error e ->
+            Format.eprintf "bad --fault-rate %g: %s@." fault_rate e;
+            exit 2);
+        let faults =
+          Faults.create ~config
+            ~seed:(match fault_seed with Some s -> s | None -> seed + 31)
+            ()
+        in
+        Some (Robust_evaluator.create ~faults evaluator)
+      end
+      else None
+    in
+    let env =
+      match robust with
+      | Some r -> Env.create ~robust:r cfg
+      | None -> Env.create ~evaluator cfg
+    in
     let rng = Util.Rng.create seed in
     let policy = Policy.create ~hidden ~backbone_layers:2 rng cfg in
     let ops =
@@ -216,21 +246,55 @@ let train_cmd =
       end
       else Array.of_list (List.map op_of_spec specs)
     in
-    Format.printf "training on %d ops | %d iterations | hidden %d | %s reward | %d params@.@."
+    Format.printf "training on %d ops | %d iterations | hidden %d | %s reward | %d params@."
       (Array.length ops) iterations hidden
       (if immediate then "Immediate" else "Final")
       (Policy.param_count policy);
+    if fault_rate > 0.0 then
+      Format.printf
+        "fault injection: %.0f%% transient failures (robust evaluator: retries + degradation)@."
+        (fault_rate *. 100.0);
+    (match checkpoint_path with
+    | Some p ->
+        Format.printf "checkpointing to %s every %d iterations%s@." p
+          checkpoint_every
+          (if resume then " (resuming if a checkpoint exists)" else "")
+    | None -> ());
+    Format.printf "@.";
     let config =
-      { Trainer.default_config with Trainer.iterations; seed }
+      {
+        Trainer.default_config with
+        Trainer.iterations;
+        seed;
+        checkpoint_path;
+        checkpoint_every;
+      }
     in
     let _ =
-      Trainer.train config env policy ~ops ~callback:(fun s ->
-          Format.printf
-            "iter %4d | return %7.3f | geomean speedup %9.2fx | best %9.1fx | kl %.4f@."
-            s.Trainer.iteration s.Trainer.mean_episode_return
-            s.Trainer.mean_final_speedup s.Trainer.best_speedup
-            s.Trainer.ppo_stats.Ppo.approx_kl)
+      try
+        Trainer.train config env policy ~ops ~resume ~callback:(fun s ->
+            Format.printf
+              "iter %4d | return %7.3f | geomean speedup %9.2fx | best %9.1fx | kl %.4f%s@."
+              s.Trainer.iteration s.Trainer.mean_episode_return
+              s.Trainer.mean_final_speedup s.Trainer.best_speedup
+              s.Trainer.ppo_stats.Ppo.approx_kl
+              (if s.Trainer.degraded_measurements > 0 then
+                 Printf.sprintf " | degraded %d" s.Trainer.degraded_measurements
+               else ""))
+      with Invalid_argument msg
+        when String.length msg >= 8 && String.sub msg 0 8 = "Trainer:" ->
+        (* a corrupt or mismatched checkpoint is a user error, not a bug *)
+        Format.eprintf "%s@." msg;
+        exit 2
     in
+    (match Env.robust env with
+    | Some r ->
+        Format.printf
+          "@.robust evaluator: %d measurements, %d retries, %d degraded@."
+          (Robust_evaluator.measurements r)
+          (Robust_evaluator.retry_count r)
+          (Robust_evaluator.degraded_count r)
+    | None -> ());
     Format.printf "@.greedy schedules:@.";
     Array.iteri
       (fun i op ->
@@ -258,9 +322,49 @@ let train_cmd =
   let save_path =
     Arg.(value & opt (some string) None & info [ "save" ] ~doc:"Save weights to FILE")
   in
+  let fault_rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "fault-rate" ]
+          ~doc:
+            "Transient-failure probability of the simulated measurement \
+             backend (enables the robust evaluator)")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt (some int) None
+      & info [ "fault-seed" ] ~doc:"Seed of the fault stream (default: seed+31)")
+  in
+  let noise =
+    Arg.(
+      value & opt float 0.0
+      & info [ "noise" ] ~doc:"Log-normal measurement jitter sigma")
+  in
+  let checkpoint_path =
+    Arg.(
+      value & opt (some string) None
+      & info [ "checkpoint" ]
+          ~doc:"Checkpoint file prefix (writes PREFIX.meta/.params/.optim)")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 5
+      & info [ "checkpoint-every" ] ~doc:"Iterations between checkpoints")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Resume from the checkpoint at --checkpoint (starts fresh when \
+             none exists); the resumed run is deterministic")
+  in
   Cmd.v
     (Cmd.info "train" ~doc:"Train the multi-action PPO agent")
-    Term.(const run $ iters $ hidden $ seed $ immediate $ specs $ save_path)
+    Term.(
+      const run $ iters $ hidden $ seed $ immediate $ specs $ save_path
+      $ fault_rate $ fault_seed $ noise $ checkpoint_path $ checkpoint_every
+      $ resume)
 
 (* --- infer --- *)
 
@@ -349,9 +453,12 @@ let play_cmd =
              | Ok [] -> ()
              | Ok (tr :: _) ->
                  let r = Env.step env (Some tr) in
-                 Format.printf "reward %.4f%s%s@.@.%s@.@." r.Env.reward
+                 Format.printf "reward %.4f%s%s%s@.@.%s@.@." r.Env.reward
                    (if r.Env.invalid then " (INVALID)" else "")
                    (if r.Env.timed_out then " (TIMEOUT)" else "")
+                   (match r.Env.error with
+                   | Some e -> " [" ^ Env_error.to_string e ^ "]"
+                   | None -> "")
                    (Env.render env);
                  if r.Env.terminal then begin
                    Format.printf "episode over: final speedup %.2fx@."

@@ -1,0 +1,22 @@
+type backend_failure = { op_name : string; detail : string; retries : int }
+
+type t =
+  | Invalid_action of string
+  | Episode_over
+  | No_episode
+  | Backend_failure of backend_failure
+
+exception Error of t
+
+let to_string = function
+  | Invalid_action msg -> "invalid action: " ^ msg
+  | Episode_over -> "episode already over"
+  | No_episode -> "no episode in progress (call reset)"
+  | Backend_failure { op_name; detail; retries } ->
+      Printf.sprintf "backend failure on %s after %d retries: %s" op_name
+        retries detail
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Env_error.Error: " ^ to_string e)
+    | _ -> None)

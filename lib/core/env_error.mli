@@ -1,0 +1,30 @@
+(** Typed environment errors.
+
+    The hot path used to panic with [invalid_arg] on misuse and to
+    swallow transform-layer messages; these constructors carry the same
+    conditions as data so the training loop (and its episode traces)
+    can observe and react to them. *)
+
+type backend_failure = {
+  op_name : string;  (** op whose measurement failed *)
+  detail : string;  (** what the last failure was *)
+  retries : int;  (** retries spent before degrading *)
+}
+
+type t =
+  | Invalid_action of string
+      (** the transformation was rejected by the IR layer; the payload
+          is the transform layer's reason (a failing compilation in the
+          paper's pipeline) *)
+  | Episode_over  (** stepped after the episode terminated *)
+  | No_episode  (** accessed episode state before any [reset] *)
+  | Backend_failure of backend_failure
+      (** the measurement backend failed; the result was degraded to
+          the cost-model estimate *)
+
+exception Error of t
+(** Raised only by accessors that cannot return a [step_result] (for
+    example [Env.state] before a reset). [Env.step] never raises —
+    errors surface in the [step_result]. *)
+
+val to_string : t -> string

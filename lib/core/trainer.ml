@@ -1,6 +1,19 @@
-type config = { ppo : Ppo.config; iterations : int; seed : int }
+type config = {
+  ppo : Ppo.config;
+  iterations : int;
+  seed : int;
+  checkpoint_path : string option;
+  checkpoint_every : int;
+}
 
-let default_config = { ppo = Ppo.default_config; iterations = 50; seed = 0 }
+let default_config =
+  {
+    ppo = Ppo.default_config;
+    iterations = 50;
+    seed = 0;
+    checkpoint_path = None;
+    checkpoint_every = 10;
+  }
 
 type iteration_stats = {
   iteration : int;
@@ -10,15 +23,61 @@ type iteration_stats = {
   ppo_stats : Ppo.stats;
   measurement_seconds : float;
   schedules_explored : int;
+  degraded_measurements : int;
 }
 
+let checkpoint_meta env rng ~iteration ~best =
+  {
+    Checkpoint.iteration;
+    rng_state = Util.Rng.state rng;
+    best_speedup = best;
+    measurement_seconds = Env.measurement_seconds env;
+    explored = Evaluator.explored (Env.evaluator env);
+    degraded = Env.degraded_measurements env;
+    noise_state = Evaluator.noise_state (Env.evaluator env);
+    fault_state =
+      Option.bind (Env.robust env) (fun r ->
+          Option.map Faults.state (Robust_evaluator.faults r));
+  }
+
 (* Generic collection/update loop: [collect_episode] plays one episode
-   and returns its transitions plus (return, final speedup). *)
-let run_loop ?callback config env ~collect_episode ~update =
+   and returns its transitions plus (return, final speedup). Handles
+   periodic checkpointing and resume when the config asks for them. *)
+let run_loop ?callback ?(resume = false) config env ~params ~optimizer
+    ~collect_episode ~update =
   let rng = Util.Rng.create (config.seed + 77) in
   let stats_acc = ref [] in
   let best = ref 0.0 in
-  for iteration = 1 to config.iterations do
+  let start_iteration = ref 0 in
+  (if resume then
+     match config.checkpoint_path with
+     | None ->
+         invalid_arg "Trainer: resume requested without a checkpoint_path"
+     | Some path when not (Checkpoint.exists ~path) ->
+         (* Nothing saved yet: start from scratch (first run of a job
+            that is always launched with --resume). *)
+         ()
+     | Some path -> (
+         match Checkpoint.restore ~path ~params ~optimizer with
+         | Error e -> invalid_arg ("Trainer: cannot resume: " ^ e)
+         | Ok meta ->
+             start_iteration := meta.Checkpoint.iteration;
+             best := meta.Checkpoint.best_speedup;
+             Util.Rng.set_state rng meta.Checkpoint.rng_state;
+             Env.restore_accounting env
+               ~measurement_seconds:meta.Checkpoint.measurement_seconds
+               ~degraded:meta.Checkpoint.degraded;
+             Evaluator.set_explored (Env.evaluator env)
+               meta.Checkpoint.explored;
+             Evaluator.set_noise_state (Env.evaluator env)
+               meta.Checkpoint.noise_state;
+             (match
+                ( meta.Checkpoint.fault_state,
+                  Option.bind (Env.robust env) Robust_evaluator.faults )
+              with
+             | Some st, Some f -> Faults.restore f st
+             | _ -> ())));
+  for iteration = !start_iteration + 1 to config.iterations do
     let transitions = ref [] in
     let returns = ref [] in
     let speedups = ref [] in
@@ -43,18 +102,27 @@ let run_loop ?callback config env ~collect_episode ~update =
         ppo_stats;
         measurement_seconds = Env.measurement_seconds env;
         schedules_explored = Evaluator.explored (Env.evaluator env);
+        degraded_measurements = Env.degraded_measurements env;
       }
     in
+    (match config.checkpoint_path with
+    | Some path
+      when config.checkpoint_every > 0
+           && (iteration mod config.checkpoint_every = 0
+              || iteration = config.iterations) ->
+        Checkpoint.save ~path
+          (checkpoint_meta env rng ~iteration ~best:!best)
+          ~params ~optimizer
+    | _ -> ());
     (match callback with Some f -> f st | None -> ());
     stats_acc := st :: !stats_acc
   done;
   List.rev !stats_acc
 
-let train ?callback config env policy ~ops =
+let train ?callback ?resume config env policy ~ops =
   if Array.length ops = 0 then invalid_arg "Trainer.train: no training ops";
-  let optimizer =
-    Optim.adam ~lr:config.ppo.Ppo.learning_rate (Policy.params policy)
-  in
+  let params = Policy.params policy in
+  let optimizer = Optim.adam ~lr:config.ppo.Ppo.learning_rate params in
   let ppo_policy = Policy.ppo_policy policy in
   let collect_episode rng =
     let op = Util.Rng.choice rng ops in
@@ -83,13 +151,13 @@ let train ?callback config env policy ~ops =
     (Array.of_list (List.rev !steps), !ep_return, Env.current_speedup env)
   in
   let update batch ~rng = Ppo.update config.ppo ppo_policy optimizer batch ~rng in
-  run_loop ?callback config env ~collect_episode ~update
+  run_loop ?callback ?resume config env ~params ~optimizer ~collect_episode
+    ~update
 
-let train_flat ?callback config env policy ~ops =
+let train_flat ?callback ?resume config env policy ~ops =
   if Array.length ops = 0 then invalid_arg "Trainer.train_flat: no training ops";
-  let optimizer =
-    Optim.adam ~lr:config.ppo.Ppo.learning_rate (Flat_policy.params policy)
-  in
+  let params = Flat_policy.params policy in
+  let optimizer = Optim.adam ~lr:config.ppo.Ppo.learning_rate params in
   let ppo_policy = Flat_policy.ppo_policy policy in
   let menu = Flat_policy.menu policy in
   let collect_episode rng =
@@ -122,7 +190,8 @@ let train_flat ?callback config env policy ~ops =
     (Array.of_list (List.rev !steps), !ep_return, Env.current_speedup env)
   in
   let update batch ~rng = Ppo.update config.ppo ppo_policy optimizer batch ~rng in
-  run_loop ?callback config env ~collect_episode ~update
+  run_loop ?callback ?resume config env ~params ~optimizer ~collect_episode
+    ~update
 
 let greedy_rollout env policy op =
   let obs = ref (Env.reset env op) in

@@ -1,18 +1,29 @@
 (** PPO training loops over the environment.
 
     Handles rollout collection across a pool of training ops, the PPO
-    update, and evaluation-time greedy inference, for both the
-    hierarchical and the flat (ablation) policies. *)
+    update, evaluation-time greedy inference, and crash recovery:
+    with a [checkpoint_path] the loop persists policy weights, Adam
+    state, RNG streams and accounting every [checkpoint_every]
+    iterations, and [~resume:true] continues a killed run
+    deterministically — the resumed run's statistics are identical to
+    an uninterrupted run's. *)
 
 type config = {
   ppo : Ppo.config;
   iterations : int;  (** batch-collection + update rounds (paper: 1000) *)
   seed : int;
+  checkpoint_path : string option;
+      (** prefix for the [.meta]/[.params]/[.optim] checkpoint files;
+          [None] disables checkpointing *)
+  checkpoint_every : int;
+      (** checkpoint every this many iterations (and always at the
+          last); [<= 0] disables *)
 }
 
 val default_config : config
 (** Paper hyperparameters with a modest iteration count; benches override
-    [iterations]. *)
+    [iterations]. Checkpointing is off ([checkpoint_path = None],
+    [checkpoint_every = 10]). *)
 
 type iteration_stats = {
   iteration : int;
@@ -22,20 +33,29 @@ type iteration_stats = {
   ppo_stats : Ppo.stats;
   measurement_seconds : float;  (** cumulative simulated compile+run time *)
   schedules_explored : int;  (** cumulative evaluator measurements *)
+  degraded_measurements : int;
+      (** cumulative measurements that fell back to the cost model *)
 }
 
 val train :
   ?callback:(iteration_stats -> unit) ->
+  ?resume:bool ->
   config ->
   Env.t ->
   Policy.t ->
   ops:Linalg.t array ->
   iteration_stats list
 (** Train the hierarchical policy; each episode samples an op uniformly
-    from [ops]. Returns per-iteration statistics in order. *)
+    from [ops]. Returns per-iteration statistics in order (on resume:
+    only the iterations run in this call). [resume] (default false)
+    restores the latest checkpoint at [config.checkpoint_path] if one
+    exists, and starts fresh otherwise; it raises [Invalid_argument]
+    when no [checkpoint_path] is configured or the checkpoint is
+    corrupt. *)
 
 val train_flat :
   ?callback:(iteration_stats -> unit) ->
+  ?resume:bool ->
   config ->
   Env.t ->
   Flat_policy.t ->

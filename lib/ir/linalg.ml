@@ -632,6 +632,19 @@ let kind_name op =
   | Bias_add _ -> "bias_add"
   | Generic_op -> "generic"
 
+let digest op =
+  let dims =
+    String.concat "x" (Array.to_list (Array.map string_of_int op.domain))
+  in
+  let kinds =
+    String.concat ""
+      (Array.to_list
+         (Array.map
+            (function Parallel_iter -> "p" | Reduction_iter -> "r")
+            op.iter_kinds))
+  in
+  Printf.sprintf "%s|%s|%s" op.op_name dims kinds
+
 let pp ppf op =
   Format.fprintf ppf "@[<v 2>linalg.%s %s {@," (kind_name op) op.op_name;
   Format.fprintf ppf "domain = [%s]@,"

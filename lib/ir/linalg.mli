@@ -171,5 +171,10 @@ val execute_reference : t -> (string * float array) list -> float array
 val kind_name : t -> string
 (** Short tag: "matmul", "conv2d", "maxpool", "add", "relu", "generic". *)
 
+val digest : t -> string
+(** Canonical identity of an op for caching: name, iteration-domain
+    extents and iterator kinds. Two ops sharing a name but differing in
+    shape get distinct digests. *)
+
 val pp : Format.formatter -> t -> unit
 (** Multi-line summary including domain, operands and maps. *)

@@ -71,6 +71,39 @@ let zero_grad opt = Array.iter Autodiff.Param.zero_grad opt.params
 
 let set_lr opt lr = opt.lr <- lr
 
+(* Adam moments (and the step counter, boxed as a 1-element tensor) as
+   named parameters, so checkpoints reuse the Serialize format. *)
+let state_params opt step_tensor =
+  match opt.algo with
+  | Sgd -> []
+  | Adam a ->
+      let wrap prefix arr =
+        Array.to_list
+          (Array.mapi
+             (fun i (p : Autodiff.Param.t) ->
+               Autodiff.Param.create (prefix ^ p.Autodiff.Param.name) arr.(i))
+             opt.params)
+      in
+      Autodiff.Param.create "adam.step" step_tensor
+      :: (wrap "adam.m." a.m @ wrap "adam.v." a.v)
+
+let save opt path =
+  let step_tensor =
+    Tensor.of_array [| 1 |]
+      [| (match opt.algo with Sgd -> 0.0 | Adam a -> float_of_int a.t) |]
+  in
+  Serialize.save_params path (state_params opt step_tensor)
+
+let load opt path =
+  let step_tensor = Tensor.of_array [| 1 |] [| 0.0 |] in
+  match Serialize.load_params path (state_params opt step_tensor) with
+  | Error _ as e -> e
+  | Ok () ->
+      (match opt.algo with
+      | Sgd -> ()
+      | Adam a -> a.t <- int_of_float (Tensor.get step_tensor 0));
+      Ok ()
+
 let clip_grad_norm opt max_norm =
   let sq = ref 0.0 in
   Array.iter

@@ -21,6 +21,15 @@ val zero_grad : t -> unit
 
 val set_lr : t -> float -> unit
 
+val save : t -> string -> unit
+(** Persist the optimizer state (Adam moments and step counter) in the
+    {!Serialize} format, atomically. SGD has no state; an empty record
+    is written so [load] round-trips. *)
+
+val load : t -> string -> (unit, string) result
+(** Restore state saved by {!save} into an optimizer built over the
+    same parameter list (names and shapes are validated). *)
+
 val clip_grad_norm : t -> float -> float
 (** [clip_grad_norm t max_norm] rescales all gradients if their global L2
     norm exceeds [max_norm]; returns the pre-clip norm. *)

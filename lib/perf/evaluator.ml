@@ -24,7 +24,10 @@ let jitter t seconds =
 let machine t = t.machine
 
 let base_seconds t (op : Linalg.t) =
-  match Hashtbl.find_opt t.base_cache op.Linalg.op_name with
+  (* Keyed by the canonical digest, not op_name: two ops sharing a name
+     but differing in shape must not reuse each other's baseline. *)
+  let key = Linalg.digest op in
+  match Hashtbl.find_opt t.base_cache key with
   | Some s -> s
   | None ->
       let nest = Lower.to_loop_nest op in
@@ -32,7 +35,7 @@ let base_seconds t (op : Linalg.t) =
         Cost_model.seconds ~machine:t.machine ~iter_kinds:op.Linalg.iter_kinds
           nest
       in
-      Hashtbl.add t.base_cache op.Linalg.op_name s;
+      Hashtbl.add t.base_cache key s;
       s
 
 let state_seconds t (state : Sched_state.t) =
@@ -60,3 +63,6 @@ let schedule_speedup t op sched =
 
 let explored t = t.explored
 let reset_explored t = t.explored <- 0
+let set_explored t n = t.explored <- n
+let noise_state t = Util.Rng.state t.noise_rng
+let set_noise_state t s = Util.Rng.set_state t.noise_rng s

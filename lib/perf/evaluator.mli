@@ -45,3 +45,12 @@ val explored : t -> int
     explored" counter used by the Figure 6 search-efficiency bench. *)
 
 val reset_explored : t -> unit
+
+val set_explored : t -> int -> unit
+(** Restore the explored counter (checkpoint resume). *)
+
+val noise_state : t -> int64
+(** State of the jitter stream, for checkpointing. *)
+
+val set_noise_state : t -> int64 -> unit
+(** Restore a jitter stream saved by {!noise_state}. *)

@@ -17,6 +17,16 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing [t]. *)
 
+val state : t -> int64
+(** Raw generator state, for checkpointing. Restoring it with
+    {!set_state} (or {!of_state}) resumes the exact stream. *)
+
+val set_state : t -> int64 -> unit
+(** Overwrite the generator state with one saved by {!state}. *)
+
+val of_state : int64 -> t
+(** A fresh generator positioned at a saved {!state}. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -30,5 +30,7 @@ let () =
       ("features", Test_features.suite);
       ("layout", Test_layout.suite);
       ("misc", Test_misc.suite);
+      ("robust-eval", Test_robust_eval.suite);
+      ("checkpoint", Test_checkpoint.suite);
       ("integration", Test_integration.suite);
     ]

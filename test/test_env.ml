@@ -225,10 +225,66 @@ let test_env_tau_limit () =
   (match !last with
   | Some r -> Alcotest.(check bool) "terminal at tau" true r.Env.terminal
   | None -> Alcotest.fail "no steps");
-  Alcotest.(check bool) "further steps rejected" true
-    (match Env.step env (Some (Schedule.Swap 0)) with
-    | exception Invalid_argument _ -> true
+  (* Stepping past the end is a typed error, not a panic. *)
+  let r = Env.step env (Some (Schedule.Swap 0)) in
+  Alcotest.(check bool) "episode-over error" true
+    (r.Env.error = Some Env_error.Episode_over);
+  Alcotest.(check bool) "still terminal" true r.Env.terminal;
+  Alcotest.(check (float 1e-12)) "no reward" 0.0 r.Env.reward;
+  Alcotest.(check int) "no step consumed" cfg.Env_config.tau (Env.step_count env)
+
+let test_env_step_after_vectorize_typed () =
+  (* Vectorize terminates before tau; further steps must surface
+     Episode_over, not reach the transform layer. *)
+  let env = Env.create cfg in
+  ignore (Env.reset env (Test_helpers.small_matmul ()));
+  let r = Env.step env (Some Schedule.Vectorize) in
+  Alcotest.(check bool) "terminal" true r.Env.terminal;
+  let r2 = Env.step env (Some (Schedule.Swap 0)) in
+  Alcotest.(check bool) "typed error" true
+    (r2.Env.error = Some Env_error.Episode_over);
+  Alcotest.(check bool) "obs echoed" true (r2.Env.obs == r.Env.obs)
+
+let test_env_invalid_carries_reason () =
+  let env = Env.create cfg in
+  ignore (Env.reset env (Test_helpers.small_matmul ()));
+  let r = Env.step env (Some (Schedule.Tile [| 5; 0; 0 |])) in
+  Alcotest.(check bool) "invalid" true r.Env.invalid;
+  (match r.Env.error with
+  | Some (Env_error.Invalid_action msg) ->
+      Alcotest.(check bool) "reason preserved" true (String.length msg > 0)
+  | _ -> Alcotest.fail "expected Invalid_action with the transform reason");
+  Alcotest.(check bool) "not flagged degraded" false r.Env.degraded
+
+let test_env_state_before_reset_typed () =
+  let env = Env.create cfg in
+  Alcotest.(check bool) "typed exception" true
+    (match Env.state env with
+    | exception Env_error.Error Env_error.No_episode -> true
+    | _ -> false);
+  Alcotest.(check bool) "state_opt is None" true (Env.state_opt env = None);
+  Alcotest.(check bool) "step raises typed" true
+    (match Env.step env None with
+    | exception Env_error.Error Env_error.No_episode -> true
     | _ -> false)
+
+let test_env_episode_measurement_resets () =
+  let env = Env.create (Env_config.with_reward_mode Env_config.Immediate cfg) in
+  ignore (Env.reset env (Test_helpers.small_matmul ()));
+  ignore (Env.step env (Some (Schedule.Swap 0)));
+  let ep1 = Env.episode_measurement_seconds env in
+  let total1 = Env.measurement_seconds env in
+  Alcotest.(check bool) "episode charged" true (ep1 > 0.0);
+  Alcotest.(check (float 1e-12)) "episode = total on first episode" total1 ep1;
+  ignore (Env.reset env (Test_helpers.small_matmul ()));
+  Alcotest.(check (float 1e-12)) "episode counter reset" 0.0
+    (Env.episode_measurement_seconds env);
+  Alcotest.(check (float 1e-12)) "cumulative counter kept" total1
+    (Env.measurement_seconds env);
+  ignore (Env.step env (Some (Schedule.Swap 0)));
+  Alcotest.(check bool) "second episode accumulates separately" true
+    (Env.episode_measurement_seconds env > 0.0
+    && Env.measurement_seconds env > total1)
 
 let test_env_invalid_action_penalized () =
   let env = Env.create cfg in
@@ -325,6 +381,14 @@ let suite =
     Alcotest.test_case "immediate rewards telescope" `Quick
       test_env_immediate_rewards_telescope;
     Alcotest.test_case "tau limit" `Quick test_env_tau_limit;
+    Alcotest.test_case "step after vectorize typed" `Quick
+      test_env_step_after_vectorize_typed;
+    Alcotest.test_case "invalid carries reason" `Quick
+      test_env_invalid_carries_reason;
+    Alcotest.test_case "state before reset typed" `Quick
+      test_env_state_before_reset_typed;
+    Alcotest.test_case "episode measurement resets" `Quick
+      test_env_episode_measurement_resets;
     Alcotest.test_case "invalid action penalized" `Quick test_env_invalid_action_penalized;
     Alcotest.test_case "noop consumes step" `Quick test_env_noop_consumes_step;
     Alcotest.test_case "measurement time accumulates" `Quick
