@@ -13,7 +13,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [--fast] [table1] [table2] [fig5] [fig6] [fig7] [fig8] [ablation] [faults] [micro]";
+    "usage: main.exe [--fast] [table1] [table2] [fig5] [fig6] [fig7] [fig8] [ablation] [faults] [legality] [micro]";
   exit 2
 
 let () =
@@ -26,7 +26,7 @@ let () =
         not
           (List.mem a
              [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "ablation";
-               "faults"; "micro" ])
+               "faults"; "legality"; "micro" ])
       then begin
         Printf.printf "unknown experiment %S\n" a;
         usage ()
@@ -59,6 +59,7 @@ let () =
   if want "fig8" then Exp_fig8.run c;
   if want "ablation" then Exp_ablation.run c (trained_agent ());
   if want "faults" then Exp_faults.run c;
+  if want "legality" then Exp_legality.run c;
   if want "micro" then Micro.run ();
   Printf.printf "\nall experiments done in %.1f s wall-clock\n"
     (Unix.gettimeofday () -. t0)

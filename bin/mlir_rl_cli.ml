@@ -406,6 +406,89 @@ let infer_cmd =
     (Cmd.info "infer" ~doc:"Run a trained agent on one operation")
     Term.(const run $ spec_arg $ hidden $ load_path $ trials)
 
+(* --- analyze: dependence analysis, legality verdicts, lint --- *)
+
+let analyze_cmd =
+  let nest_of_target target =
+    if Sys.file_exists target then begin
+      let ic = open_in target in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      match Ir_parser.parse_result text with
+      | Ok nest -> nest
+      | Error e ->
+          Format.eprintf "%s: parse error: %s@." target e;
+          exit 2
+    end
+    else Lower.to_loop_nest (op_of_spec target)
+  in
+  let analyze_one ~ci target =
+    let nest = nest_of_target target in
+    Format.printf "=== %s (%s) ===@." target nest.Loop_nest.name;
+    Format.printf "%s@." (Ir_printer.to_string nest);
+    let deps = Dependence.analyze nest in
+    Format.printf "@.dependences (%d):@." (List.length deps);
+    if deps = [] then Format.printf "  (none)@."
+    else
+      List.iter
+        (fun d -> Format.printf "  %a@." Dependence.pp_dependence d)
+        deps;
+    let leg = Legality.analyze nest in
+    let v = Legality.verdicts leg in
+    let n = Legality.n_loops leg in
+    let yn b = if b then "yes" else "no" in
+    Format.printf "@.legality:@.";
+    Format.printf "  %-22s %s@." "tile (band permutable)" (yn v.Legality.tile);
+    Format.printf "  %-22s %s@." "vectorize" (yn v.Legality.vectorize);
+    Format.printf "  %-22s %s@." "unroll" (yn v.Legality.unroll);
+    for k = 0 to n - 1 do
+      Format.printf "  %-22s %-4s%s@."
+        (Printf.sprintf "parallelize loop %%%d" k)
+        (yn v.Legality.parallelize.(k))
+        (if Legality.carries_dependence leg k then "  (carries a dependence)"
+         else "")
+    done;
+    for k = 0 to n - 2 do
+      Format.printf "  %-22s %s@."
+        (Printf.sprintf "interchange %%%d<->%%%d" k (k + 1))
+        (yn v.Legality.interchange.(k))
+    done;
+    let diags = Nest_lint.run nest in
+    Format.printf "@.lint (%d):@." (List.length diags);
+    if diags = [] then Format.printf "  (clean)@."
+    else
+      List.iter
+        (fun d -> Format.printf "  %a@." Nest_lint.pp_diagnostic d)
+        diags;
+    Format.printf "@.";
+    if ci && Nest_lint.has_error diags then begin
+      Format.eprintf "%s: lint reported Error-severity diagnostics@." target;
+      exit 1
+    end
+  in
+  let run targets ci = List.iter (analyze_one ~ci) targets in
+  let targets_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "An op spec (matmul:64x64x64) or a path to a loop-nest file in \
+             the textual IR syntax")
+  in
+  let ci_arg =
+    Arg.(
+      value & flag
+      & info [ "ci" ]
+          ~doc:"Exit non-zero when lint reports an Error-severity diagnostic")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Print dependences, direction vectors, per-action legality and lint \
+          diagnostics for operations or loop-nest files")
+    Term.(const run $ targets_arg $ ci_arg)
+
 (* --- play: interactive environment session --- *)
 
 let play_cmd =
@@ -486,6 +569,6 @@ let () =
              ~doc:"RL environment for automatic code optimization in a mini-MLIR")
           ~default
           [
-            show_cmd; schedule_cmd; features_cmd; autoschedule_cmd; compare_cmd;
-            dataset_cmd; train_cmd; infer_cmd; play_cmd;
+            show_cmd; schedule_cmd; features_cmd; analyze_cmd; autoschedule_cmd;
+            compare_cmd; dataset_cmd; train_cmd; infer_cmd; play_cmd;
           ]))

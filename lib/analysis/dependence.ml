@@ -1,0 +1,337 @@
+(* Polyhedral-lite dependence analysis over [Loop_nest.t].
+
+   Every pair of accesses to the same buffer (at least one of them a
+   store) induces a dependence system: the two subscript vectors must be
+   equal at two iteration points of the (rectangular) loop domain,
+   subject to a per-loop direction constraint between the points. The
+   system is decided conservatively with the classic battery:
+
+   - ZIV: a subscript dimension that uses no loop variable depends only
+     on the constants — equal constants or no dependence.
+   - GCD: the gcd of the live coefficients must divide the constant
+     difference, else the diophantine equation has no solution.
+   - Banerjee bounds: the range of [f_a(i) - f_b(j)] over the
+     (direction-constrained) domain must contain 0. Under a [<] or [>]
+     constraint the range is evaluated at the vertices of the triangular
+     region — exact for a linear form, hence a sound over-approximation
+     of the lattice range.
+
+   "Feasible" answers are over-approximations: the analysis may report a
+   dependence that no execution realizes, but it never misses one —
+   every "no dependence" verdict is backed by one of the disproofs
+   above. Legality built on top (see {!Legality}) therefore only errs
+   toward conservatism. *)
+
+type kind = Flow | Anti | Output
+type dir = Lt | Eq | Gt
+type constr = Any | Must of dir
+
+type dependence = {
+  kind : kind;
+  buf : string;
+  src_stmt : int;
+  dst_stmt : int;
+  carrier : int option;  (* outermost loop with a [<] direction; None =
+                            loop-independent (same iteration) *)
+  dirs : dir option array;  (* per loop; None prints as '*' (undetermined) *)
+}
+
+let kind_label = function Flow -> "flow" | Anti -> "anti" | Output -> "output"
+
+let dir_label = function
+  | Some Lt -> "<"
+  | Some Eq -> "="
+  | Some Gt -> ">"
+  | None -> "*"
+
+let pp_dependence ppf d =
+  Format.fprintf ppf "%s %s: stmt %d -> stmt %d, %s, dirs (%s)" (kind_label d.kind)
+    d.buf d.src_stmt d.dst_stmt
+    (match d.carrier with
+    | None -> "loop-independent"
+    | Some c -> Printf.sprintf "carried by loop %d" c)
+    (String.concat ", " (Array.to_list (Array.map dir_label d.dirs)))
+
+let dependence_to_string d = Format.asprintf "%a" pp_dependence d
+
+(* ------------------------------------------------------------------ *)
+(* Access collection                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type access = {
+  stmt : int;
+  seq : int;  (* execution position inside the statement: loads 0, store 1 *)
+  is_store : bool;
+  mref : Loop_nest.mem_ref;
+}
+
+let rec load_refs acc = function
+  | Loop_nest.Load r -> r :: acc
+  | Loop_nest.Const _ -> acc
+  | Loop_nest.Binop (_, a, b) -> load_refs (load_refs acc a) b
+  | Loop_nest.Unop (_, e) -> load_refs acc e
+
+let accesses (nest : Loop_nest.t) =
+  List.concat
+    (List.mapi
+       (fun s (Loop_nest.Store (r, e)) ->
+         let loads = List.rev (load_refs [] e) in
+         List.map (fun lr -> { stmt = s; seq = 0; is_store = false; mref = lr }) loads
+         @ [ { stmt = s; seq = 1; is_store = true; mref = r } ])
+       nest.Loop_nest.body)
+
+let stored_buffers (nest : Loop_nest.t) =
+  List.sort_uniq compare
+    (List.map (fun (r : Loop_nest.mem_ref) -> r.Loop_nest.buf)
+       (Loop_nest.stores_of_body nest))
+
+(* ------------------------------------------------------------------ *)
+(* Feasibility of one direction-constrained system                    *)
+(* ------------------------------------------------------------------ *)
+
+let rec gcd a b = if b = 0 then abs a else gcd b (a mod b)
+
+(* Range of [a*i - b*j] with [0 <= i, j <= u-1] under the constraint.
+   [None] means the constrained region is empty (u < 2 for < or >). *)
+let term_range ~u a b = function
+  | Must Eq ->
+      let v = (a - b) * (u - 1) in
+      Some (min 0 v, max 0 v)
+  | Any ->
+      let ai = a * (u - 1) and bj = -b * (u - 1) in
+      Some (min 0 ai + min 0 bj, max 0 ai + max 0 bj)
+  | Must Lt ->
+      if u < 2 then None
+      else
+        (* vertices of {0 <= i < j <= u-1}: (0,1), (0,u-1), (u-2,u-1) *)
+        let v1 = -b and v2 = -b * (u - 1) and v3 = (a * (u - 2)) - (b * (u - 1)) in
+        Some (min v1 (min v2 v3), max v1 (max v2 v3))
+  | Must Gt ->
+      if u < 2 then None
+      else
+        (* vertices of {0 <= j < i <= u-1}: (1,0), (u-1,0), (u-1,u-2) *)
+        let v1 = a and v2 = a * (u - 1) and v3 = (a * (u - 1)) - (b * (u - 2)) in
+        Some (min v1 (min v2 v3), max v1 (max v2 v3))
+
+let region_nonempty (loops : Loop_nest.loop array) cs =
+  let ok = ref true in
+  Array.iteri
+    (fun k c ->
+      match c with
+      | Must Lt | Must Gt -> if loops.(k).Loop_nest.ub < 2 then ok := false
+      | Must Eq | Any -> ())
+    cs;
+  !ok
+
+(* One subscript dimension: can [ea(i) = eb(j)] hold under [cs]? *)
+let dim_feasible (loops : Loop_nest.loop array) (ea : Affine.expr)
+    (eb : Affine.expr) cs =
+  let n = Array.length loops in
+  (* Banerjee bounds *)
+  let lo = ref (ea.Affine.const - eb.Affine.const) in
+  let hi = ref !lo in
+  let empty = ref false in
+  for k = 0 to n - 1 do
+    match term_range ~u:loops.(k).Loop_nest.ub ea.Affine.coeffs.(k)
+            eb.Affine.coeffs.(k) cs.(k)
+    with
+    | None -> empty := true
+    | Some (tlo, thi) ->
+        lo := !lo + tlo;
+        hi := !hi + thi
+  done;
+  if !empty then false
+  else if !lo > 0 || !hi < 0 then false
+  else begin
+    (* GCD / ZIV: sum_k (a_k i_k - b_k j_k) = cb - ca must have an
+       integer solution. Loops pinned by [Eq] merge into one variable;
+       trip-count-1 loops contribute nothing (their variable is 0). *)
+    let g = ref 0 in
+    for k = 0 to n - 1 do
+      if loops.(k).Loop_nest.ub > 1 then
+        match cs.(k) with
+        | Must Eq ->
+            g := gcd !g (ea.Affine.coeffs.(k) - eb.Affine.coeffs.(k))
+        | Any | Must Lt | Must Gt ->
+            g := gcd !g ea.Affine.coeffs.(k);
+            g := gcd !g eb.Affine.coeffs.(k)
+    done;
+    let diff = eb.Affine.const - ea.Affine.const in
+    if !g = 0 then diff = 0
+    else if diff mod !g <> 0 then false
+    else begin
+      (* Per-dimension stride refinement. Writing the system as
+         [sum_k t_k = diff] with [t_k = a_k i - b_k j] ranging over
+         [term_range k], each pair contributes only multiples of its own
+         gcd ([a_k - b_k] when pinned to Eq). So for every k there must
+         exist [t] in k's range with [t = diff (mod gcd of the others)].
+         This catches post-tiling subscripts like [8*ic + ip] where a
+         [<] on the point loop bounds [t] to [-7, -1] but the chunk pair
+         only supplies multiples of 8 — the plain GCD test (gcd = 1)
+         cannot see it. *)
+      let live k = loops.(k).Loop_nest.ub > 1 in
+      let pair_gcd k =
+        match cs.(k) with
+        | Must Eq -> abs (ea.Affine.coeffs.(k) - eb.Affine.coeffs.(k))
+        | Any | Must Lt | Must Gt ->
+            gcd ea.Affine.coeffs.(k) eb.Affine.coeffs.(k)
+      in
+      let feasible = ref true in
+      for k = 0 to n - 1 do
+        if !feasible && live k then begin
+          let g_rest = ref 0 in
+          for j = 0 to n - 1 do
+            if j <> k && live j then g_rest := gcd !g_rest (pair_gcd j)
+          done;
+          match
+            term_range ~u:loops.(k).Loop_nest.ub ea.Affine.coeffs.(k)
+              eb.Affine.coeffs.(k) cs.(k)
+          with
+          | None -> feasible := false
+          | Some (lo, hi) ->
+              let ok =
+                if !g_rest = 0 then lo <= diff && diff <= hi
+                else
+                  let gr = !g_rest in
+                  lo + ((((diff - lo) mod gr) + gr) mod gr) <= hi
+              in
+              if not ok then feasible := false
+        end
+      done;
+      !feasible
+    end
+  end
+
+let refs_feasible (loops : Loop_nest.loop array) (ra : Loop_nest.mem_ref)
+    (rb : Loop_nest.mem_ref) cs =
+  region_nonempty loops cs
+  && Array.length ra.Loop_nest.idx = Array.length rb.Loop_nest.idx
+  &&
+  let ok = ref true in
+  Array.iteri
+    (fun d ea ->
+      if !ok && not (dim_feasible loops ea rb.Loop_nest.idx.(d) cs) then
+        ok := false)
+    ra.Loop_nest.idx;
+  !ok
+
+(* ------------------------------------------------------------------ *)
+(* Pair enumeration and existence queries                             *)
+(* ------------------------------------------------------------------ *)
+
+let same_subscripts (ra : Loop_nest.mem_ref) (rb : Loop_nest.mem_ref) =
+  Array.length ra.Loop_nest.idx = Array.length rb.Loop_nest.idx
+  && Array.for_all2 Affine.equal_expr ra.Loop_nest.idx rb.Loop_nest.idx
+
+(* Ordered pairs (src, dst) of accesses to the same stored buffer with at
+   least one store. The same unordered pair appears in both orders, so a
+   query constraining some loop to [<] also covers the symmetric [>]
+   case of the reverse pair. *)
+let dep_pairs nest =
+  let accs = accesses nest in
+  let stored = stored_buffers nest in
+  List.concat_map
+    (fun a ->
+      List.filter_map
+        (fun b ->
+          if
+            a.mref.Loop_nest.buf = b.mref.Loop_nest.buf
+            && (a.is_store || b.is_store)
+            && List.mem a.mref.Loop_nest.buf stored
+          then Some (a, b)
+          else None)
+        accs)
+    accs
+
+let pair_kind a b =
+  match (a.is_store, b.is_store) with
+  | true, false -> Flow
+  | false, true -> Anti
+  | true, true -> Output
+  | false, false -> assert false
+
+(* A statement is an accumulator when it loads the very cell it stores
+   ([C[i] = C[i] + ...]): its self-dependences lower to a reduction, so
+   reordering them only changes float rounding, not which value wins. A
+   statement that merely rewrites the same cell each iteration WITHOUT
+   reading it back ([C[i] = f(k)]) is order-sensitive — its output
+   self-dependence must not be excluded. *)
+let accumulator_stmt (Loop_nest.Store (r, e)) =
+  List.exists (fun lr -> same_subscripts lr r && lr.Loop_nest.buf = r.Loop_nest.buf)
+    (load_refs [] e)
+
+(* [exists_dep nest cs] — is there any access pair whose dependence
+   system is feasible under the per-loop constraints [cs]?
+   [~exclude_accumulator:true] additionally skips same-subscript pairs
+   within one accumulator statement (the [C += ...] reduction pattern),
+   used by the vectorization verdict. *)
+let exists_dep ?(exclude_accumulator = false) (nest : Loop_nest.t) cs =
+  let acc_stmts =
+    if exclude_accumulator then
+      Array.of_list (List.map accumulator_stmt nest.Loop_nest.body)
+    else [||]
+  in
+  List.exists
+    (fun (a, b) ->
+      (not
+         (exclude_accumulator && a.stmt = b.stmt && acc_stmts.(a.stmt)
+         && same_subscripts a.mref b.mref))
+      && refs_feasible nest.Loop_nest.loops a.mref b.mref cs)
+    (dep_pairs nest)
+
+(* ------------------------------------------------------------------ *)
+(* Full analysis: dependences with direction vectors                  *)
+(* ------------------------------------------------------------------ *)
+
+let textually_before a b = (a.stmt, a.seq) < (b.stmt, b.seq)
+
+let refine_dirs (nest : Loop_nest.t) a b cs =
+  (* For each unconstrained loop, which single direction (if any) is
+     feasible with everything else fixed? *)
+  Array.mapi
+    (fun k c ->
+      match c with
+      | Must d -> Some d
+      | Any ->
+          let feasible_with d =
+            let cs' = Array.copy cs in
+            cs'.(k) <- Must d;
+            refs_feasible nest.Loop_nest.loops a.mref b.mref cs'
+          in
+          let options = List.filter feasible_with [ Lt; Eq; Gt ] in
+          (match options with [ d ] -> Some d | _ -> None))
+    cs
+
+let analyze (nest : Loop_nest.t) =
+  let n = Loop_nest.n_loops nest in
+  let deps = ref [] in
+  List.iter
+    (fun (a, b) ->
+      let emit carrier dirs =
+        deps :=
+          {
+            kind = pair_kind a b;
+            buf = a.mref.Loop_nest.buf;
+            src_stmt = a.stmt;
+            dst_stmt = b.stmt;
+            carrier;
+            dirs;
+          }
+          :: !deps
+      in
+      (* Loop-independent dependence: same iteration, [a] executes
+         before [b] in the body. *)
+      let all_eq = Array.make n (Must Eq) in
+      if
+        textually_before a b
+        && refs_feasible nest.Loop_nest.loops a.mref b.mref all_eq
+      then emit None (Array.make n (Some Eq));
+      (* Carried dependences, one per feasible carrier level. *)
+      for c = 0 to n - 1 do
+        let cs = Array.init n (fun k -> if k < c then Must Eq else Any) in
+        cs.(c) <- Must Lt;
+        if refs_feasible nest.Loop_nest.loops a.mref b.mref cs then
+          emit (Some c) (refine_dirs nest a b cs)
+      done)
+    (dep_pairs nest);
+  List.rev !deps

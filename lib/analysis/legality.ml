@@ -1,0 +1,129 @@
+(* Sound legality verdicts for the environment's transformations,
+   derived from {!Dependence} feasibility queries.
+
+   Soundness contract: a [true] verdict means the transformation
+   provably preserves semantics on this nest; [false] means "could not
+   prove it" (the dependence tests are conservative), never "provably
+   illegal". The differential suite in test/test_dependence.ml enforces
+   the first half against the interpreter. *)
+
+open Dependence
+
+type t = {
+  nest : Loop_nest.t;
+  n : int;
+  carried : bool array;
+  dim_parallel : bool array;
+  swap_ok : bool array;  (* length max (n-1) 0 *)
+  vector_ok : bool;
+  mutable tile_memo : (int * bool) list;
+}
+
+let constraints n f = Array.init n f
+
+(* Does loop [k] carry a dependence — same iteration of every outer
+   loop, source strictly before destination on [k]? *)
+let carries nest n k =
+  exists_dep nest
+    (constraints n (fun i ->
+         if i < k then Must Eq else if i = k then Must Lt else Any))
+
+(* Is any dependence at all sensitive to loop [k] (a non-[=] direction
+   in any surrounding context)? Loops clean in this sense can run their
+   iterations in any order — or concurrently — wherever they sit in the
+   nest, which is what the environment's Parallelize (tile-to-forall,
+   hoisting the chunk loop above the band) requires. *)
+let dim_sensitive nest n k =
+  exists_dep nest (constraints n (fun i -> if i = k then Must Lt else Any))
+
+(* Adjacent interchange of [k] and [k+1] is illegal only when a
+   dependence is carried by [k] with a [>] direction on [k+1]: swapping
+   would make the destination execute first. Accumulator self-deps are
+   excluded: interchange is a sequential reordering, and reordering the
+   updates of one accumulation cell only reassociates the reduction —
+   legal in this environment (like the paper's transformations, and like
+   the vectorize verdict below). Parallelization must NOT make this
+   exclusion: concurrent accumulator updates race rather than
+   reassociate, so [dim_sensitive] keeps every dependence. *)
+let swap_blocked nest n k =
+  exists_dep ~exclude_accumulator:true nest
+    (constraints n (fun i ->
+         if i < k then Must Eq
+         else if i = k then Must Lt
+         else if i = k + 1 then Must Gt
+         else Any))
+
+(* Vectorizing the innermost loop: no dependence carried by it, except
+   the same-statement accumulator pattern (identical subscripts), which
+   lowers to a vector reduction. *)
+let vectorizable nest n =
+  n = 0
+  || not
+       (exists_dep ~exclude_accumulator:true nest
+          (constraints n (fun i -> if i = n - 1 then Must Lt else Must Eq)))
+
+let analyze (nest : Loop_nest.t) =
+  let n = Loop_nest.n_loops nest in
+  {
+    nest;
+    n;
+    carried = Array.init n (fun k -> carries nest n k);
+    dim_parallel = Array.init n (fun k -> not (dim_sensitive nest n k));
+    swap_ok = Array.init (max (n - 1) 0) (fun k -> not (swap_blocked nest n k));
+    vector_ok = vectorizable nest n;
+    tile_memo = [];
+  }
+
+let n_loops t = t.n
+let carries_dependence t k = k >= 0 && k < t.n && t.carried.(k)
+let can_parallelize t k = k >= 0 && k < t.n && t.dim_parallel.(k)
+let can_interchange t k = k >= 0 && k < t.n - 1 && t.swap_ok.(k)
+let can_vectorize t = t.vector_ok
+let can_unroll (_ : t) = true  (* unrolling replicates the body in order *)
+
+(* Tiling the band [band_start, n) inserts the chunk loops at
+   [band_start], above untiled band members — an implicit interchange.
+   It is legal when the band is fully permutable: no dependence carried
+   inside the band has a [>] direction on any deeper band loop.
+   Accumulator self-deps are excluded for the same reason as in
+   [swap_blocked]: tiling is sequential, so permuting one cell's
+   reduction updates only reassociates. *)
+let can_tile t ~band_start =
+  match List.assoc_opt band_start t.tile_memo with
+  | Some v -> v
+  | None ->
+      let blocked = ref false in
+      for c = max 0 band_start to t.n - 1 do
+        for k = c + 1 to t.n - 1 do
+          if not !blocked then
+            if
+              exists_dep ~exclude_accumulator:true t.nest
+                (constraints t.n (fun i ->
+                     if i < c then Must Eq
+                     else if i = c then Must Lt
+                     else if i = k then Must Gt
+                     else Any))
+            then blocked := true
+        done
+      done;
+      let v = not !blocked in
+      t.tile_memo <- (band_start, v) :: t.tile_memo;
+      v
+
+(* The per-action legality table, for the CLI and the docs. *)
+type verdicts = {
+  parallelize : bool array;
+  interchange : bool array;
+  vectorize : bool;
+  tile : bool;
+  unroll : bool;
+}
+
+let verdicts ?(band_start = 0) t =
+  {
+    parallelize = Array.init t.n (fun k -> can_parallelize t k);
+    interchange = Array.init (max (t.n - 1) 0) (fun k -> can_interchange t k);
+    vectorize = can_vectorize t;
+    tile = can_tile t ~band_start;
+    unroll = can_unroll t;
+  }

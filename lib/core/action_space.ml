@@ -25,6 +25,51 @@ type masks = {
   swap_mask : bool array;
 }
 
+(* --- static legality context ---------------------------------------
+
+   When [Env_config.static_legality] is on, the paper's syntactic masks
+   are intersected with the sound verdicts of the dependence analysis.
+   The analysis indexes loops by absolute position in the nest; point
+   loop [l] sits at [p0 + l] where [p0] is the point-band start. *)
+
+type legality_ctx = { leg : Legality.t; p0 : int }
+
+let legality_of (cfg : Env_config.t) (state : Sched_state.t) =
+  if cfg.Env_config.static_legality then
+    Some
+      {
+        leg = Legality.analyze state.Sched_state.nest;
+        p0 = Loop_transforms.point_band_start state.Sched_state.nest;
+      }
+  else None
+
+let static_parallel_ok ctx l =
+  match ctx with
+  | None -> true
+  | Some { leg; p0 } -> Legality.can_parallelize leg (p0 + l)
+
+let static_swap_ok ctx i =
+  match ctx with
+  | None -> true
+  | Some { leg; p0 } -> Legality.can_interchange leg (p0 + i)
+
+let static_tile_ok ctx =
+  match ctx with
+  | None -> true
+  | Some { leg; p0 } -> Legality.can_tile leg ~band_start:p0
+
+let static_vectorize_ok ctx =
+  match ctx with None -> true | Some { leg; _ } -> Legality.can_vectorize leg
+
+(* The one place the adjacent-swap condition lives: both the
+   hierarchical [masks] and the flat [simple_mask] route through it, so
+   the two menus cannot drift. *)
+let swap_legal ?ctx (state : Sched_state.t) i =
+  Sched_state.can_interchange state
+  && i >= 0
+  && i < Sched_state.n_point_loops state - 1
+  && static_swap_ok ctx i
+
 (* Tile size selected by each slot for each point loop: slot 0 = no
    tiling; slots 1.. = largest divisors <= max_tile_size, descending
    (1 and the full trip count are excluded — both leave the loop
@@ -50,6 +95,7 @@ let masks (cfg : Env_config.t) (state : Sched_state.t) =
   let m = Env_config.n_tile_choices cfg in
   let n_loops = Sched_state.n_point_loops state in
   let sizes = slot_sizes cfg state in
+  let ctx = legality_of cfg state in
   let tile_mask =
     Array.init n_max (fun l ->
         if l < n_loops then
@@ -58,8 +104,11 @@ let masks (cfg : Env_config.t) (state : Sched_state.t) =
   in
   let par_mask =
     Array.init n_max (fun l ->
-        if l < n_loops && Sched_state.parallelizable_loop state l then
-          Array.copy tile_mask.(l)
+        if
+          l < n_loops
+          && Sched_state.parallelizable_loop state l
+          && static_parallel_ok ctx l
+        then Array.copy tile_mask.(l)
         else Array.init m (fun j -> j = 0))
   in
   let has_positive rows =
@@ -69,16 +118,14 @@ let masks (cfg : Env_config.t) (state : Sched_state.t) =
   in
   let some_tiling_possible = has_positive (Array.sub tile_mask 0 (min n_loops n_max)) in
   let some_par_possible = has_positive (Array.sub par_mask 0 (min n_loops n_max)) in
-  let swap_mask =
-    Array.init n_max (fun i -> i < n_loops - 1)
-  in
+  let swap_mask = Array.init n_max (fun i -> swap_legal ?ctx state i) in
   let t_mask =
     [|
-      Sched_state.can_tile state && some_tiling_possible;
+      Sched_state.can_tile state && some_tiling_possible && static_tile_ok ctx;
       Sched_state.can_parallelize state && some_par_possible;
-      Sched_state.can_interchange state;
+      Array.exists (fun b -> b) swap_mask;
       Sched_state.can_im2col state;
-      Sched_state.can_vectorize state;
+      Sched_state.can_vectorize state && static_vectorize_ok ctx;
     |]
   in
   { t_mask; tile_mask; par_mask; swap_mask }
@@ -159,42 +206,59 @@ let legalize_sizes (state : Sched_state.t) sizes =
     if Array.exists (fun s -> s > 0) fixed then Some fixed else None
   end
 
-let legalize_par_sizes (state : Sched_state.t) sizes =
+let legalize_par_sizes ?ctx (state : Sched_state.t) sizes =
   match legalize_sizes state sizes with
   | None -> None
   | Some fixed ->
       let fixed =
         Array.mapi
-          (fun l s -> if Sched_state.parallelizable_loop state l then s else 0)
+          (fun l s ->
+            if
+              Sched_state.parallelizable_loop state l
+              && static_parallel_ok ctx l
+            then s
+            else 0)
           fixed
       in
       if Array.exists (fun s -> s > 0) fixed then Some fixed else None
 
-let legalize (state : Sched_state.t) (tr : Schedule.transformation) =
+let legalize ?ctx (state : Sched_state.t) (tr : Schedule.transformation) =
   match tr with
   | Schedule.Tile sizes ->
-      Option.map (fun s -> Schedule.Tile s) (legalize_sizes state sizes)
+      if static_tile_ok ctx then
+        Option.map (fun s -> Schedule.Tile s) (legalize_sizes state sizes)
+      else None
   | Schedule.Parallelize sizes ->
-      Option.map (fun s -> Schedule.Parallelize s) (legalize_par_sizes state sizes)
+      Option.map
+        (fun s -> Schedule.Parallelize s)
+        (legalize_par_sizes ?ctx state sizes)
   | Schedule.Swap i ->
-      if i < Sched_state.n_point_loops state - 1 then Some tr else None
-  | Schedule.Interchange _ | Schedule.Im2col | Schedule.Vectorize -> Some tr
+      if i < Sched_state.n_point_loops state - 1 && static_swap_ok ctx i then
+        Some tr
+      else None
+  | Schedule.Interchange _ -> if static_tile_ok ctx then Some tr else None
+  | Schedule.Im2col -> Some tr
+  | Schedule.Vectorize -> if static_vectorize_ok ctx then Some tr else None
   | Schedule.Unroll f ->
       if f >= 2 then Some tr else None
 
 let simple_mask (cfg : Env_config.t) (state : Sched_state.t) menu =
-  ignore cfg;
-  let n_loops = Sched_state.n_point_loops state in
+  let ctx = legality_of cfg state in
   Array.map
     (fun item ->
       match item.transformation with
       | Schedule.Tile sizes ->
-          Sched_state.can_tile state && legalize_sizes state sizes <> None
+          Sched_state.can_tile state
+          && legalize_sizes state sizes <> None
+          && static_tile_ok ctx
       | Schedule.Parallelize sizes ->
-          Sched_state.can_parallelize state && legalize_par_sizes state sizes <> None
-      | Schedule.Swap i -> Sched_state.can_interchange state && i < n_loops - 1
-      | Schedule.Interchange _ -> Sched_state.can_interchange state
+          Sched_state.can_parallelize state
+          && legalize_par_sizes ?ctx state sizes <> None
+      | Schedule.Swap i -> swap_legal ?ctx state i
+      | Schedule.Interchange _ ->
+          Sched_state.can_interchange state && static_tile_ok ctx
       | Schedule.Im2col -> Sched_state.can_im2col state
-      | Schedule.Vectorize -> Sched_state.can_vectorize state
+      | Schedule.Vectorize ->
+          Sched_state.can_vectorize state && static_vectorize_ok ctx
       | Schedule.Unroll _ -> Sched_state.can_tile state)
     menu

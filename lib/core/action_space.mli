@@ -78,10 +78,36 @@ val simple_menu : Env_config.t -> n_loops:int -> simple_item array
     vectorize. *)
 
 val simple_mask : Env_config.t -> Sched_state.t -> simple_item array -> bool array
-(** Which menu entries are currently legal. *)
+(** Which menu entries are currently legal. When
+    [cfg.static_legality] is on, the syntactic conditions are
+    intersected with the dependence-analysis verdicts ({!Legality}). *)
+
+(* -- static legality context -- *)
+
+type legality_ctx
+(** Dependence-analysis verdicts for one [Sched_state.t] nest, plus the
+    point-band offset translating point-loop indices to absolute loop
+    positions. Recompute after every transformation — verdicts describe
+    one specific nest. *)
+
+val legality_of : Env_config.t -> Sched_state.t -> legality_ctx option
+(** [None] when [cfg.static_legality] is off — all static checks then
+    default to permissive, leaving only the paper's syntactic masks. *)
+
+val swap_legal : ?ctx:legality_ctx -> Sched_state.t -> int -> bool
+(** Can point loops (i, i+1) be swapped? The single adjacent-swap
+    condition both [masks] and [simple_mask] route through: interchange
+    still available this episode, index in range, and (with [ctx]) no
+    dependence direction reversed by the swap. *)
 
 val legalize :
-  Sched_state.t -> Schedule.transformation -> Schedule.transformation option
+  ?ctx:legality_ctx ->
+  Sched_state.t ->
+  Schedule.transformation ->
+  Schedule.transformation option
 (** Fix up a menu transformation for the current state: tile sizes that
-    do not divide their loop's trip count are zeroed; [None] when
-    nothing remains (or a swap index is out of range). *)
+    do not divide their loop's trip count are zeroed; parallel sizes
+    additionally zeroed on reduction dims and (with [ctx]) on loops the
+    dependence analysis cannot prove parallel; [None] when nothing
+    remains, a swap index is out of range, or the static verdict rejects
+    the transformation outright. *)

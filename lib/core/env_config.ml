@@ -19,6 +19,9 @@ type t = {
   compile_seconds : float;
   machine : Machine.t;
   features : features;
+  static_legality : bool;
+      (* intersect the paper's syntactic masks with the static
+         dependence-analysis verdicts (lib/analysis) *)
 }
 
 let all_features =
@@ -42,9 +45,11 @@ let default =
     compile_seconds = 2.0;
     machine = Machine.e5_2680_v4;
     features = all_features;
+    static_legality = true;
   }
 
 let with_reward_mode reward_mode t = { t with reward_mode }
+let with_static_legality static_legality t = { t with static_legality }
 
 let n_tile_choices t = t.n_tile_slots
 

@@ -37,15 +37,20 @@ type t = {
       paper's wall-clock comparison of Immediate vs Final reward *)
   machine : Machine.t;
   features : features;
+  static_legality : bool;
+      (** intersect the paper's syntactic action masks (§3.1.1) with the
+          sound verdicts of the static dependence analysis
+          ({!Legality}); on by default *)
 }
 
 val all_features : features
 
 val default : t
 (** N=7, M=5, max tile 128, D=4, L=3, tau=7, Final reward, penalty -5,
-    on the paper's Xeon. *)
+    on the paper's Xeon, static legality masking on. *)
 
 val with_reward_mode : reward_mode -> t -> t
+val with_static_legality : bool -> t -> t
 
 val n_tile_choices : t -> int
 (** M. *)

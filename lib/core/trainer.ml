@@ -170,8 +170,10 @@ let train_flat ?callback ?resume config env policy ~ops =
       let cfg = Env.config env in
       let mask = Action_space.simple_mask cfg (Env.state env) menu in
       let choice, log_prob, value = Flat_policy.act rng policy ~obs:!obs ~mask in
+      let ctx = Action_space.legality_of cfg (Env.state env) in
       let tr =
-        Action_space.legalize (Env.state env) menu.(choice).Action_space.transformation
+        Action_space.legalize ?ctx (Env.state env)
+          menu.(choice).Action_space.transformation
       in
       let result = Env.step env tr in
       ep_return := !ep_return +. result.Env.reward;

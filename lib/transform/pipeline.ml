@@ -55,6 +55,17 @@ let schedule ~base_seconds ~scheduler pipeline =
     List.map
       (fun stage ->
         let sched, speedup = scheduler stage.op in
+        (* With certification on, re-apply the scheduler's output through
+           [Sched_state.apply] so every step is re-proved against the
+           dependence analysis — a scheduler emitting an illegal schedule
+           raises here rather than silently mis-reporting a speedup. *)
+        if Sched_state.certify_enabled () then
+          (match Sched_state.apply_all stage.op sched with
+          | Ok _ -> ()
+          | Error e ->
+              failwith
+                (Printf.sprintf "legality certificate: stage %s: %s"
+                   stage.stage_name e));
         let base = base_seconds stage.op in
         {
           stage;

@@ -34,7 +34,75 @@ let can_im2col state =
 
 let is_done state = state.vectorized
 
+(* --- legality certificates (debug builds) --------------------------
+
+   When enabled — via [set_certify] or the MLIR_RL_CERTIFY environment
+   variable — every transformation accepted by [apply] is re-proved
+   after the fact: the transformed nest must validate, the iteration
+   volume and buffer declarations must be preserved, and the
+   transformation must pass the static dependence-analysis verdict on
+   the nest it was applied to. A failure raises [Failure]: it means a
+   transformation reached [apply] that the masks should have rejected
+   (or the analysis is unsound). Certification is strict — on nests
+   where the conservative analysis cannot prove legality it fails even
+   if the transformation happens to be semantics-preserving. *)
+
+let certify =
+  ref
+    (match Sys.getenv_opt "MLIR_RL_CERTIFY" with
+    | Some ("1" | "true" | "yes") -> true
+    | Some _ | None -> false)
+
+let set_certify b = certify := b
+let certify_enabled () = !certify
+
+let certificate_check (before : Loop_nest.t) (tr : Schedule.transformation)
+    (after : Loop_nest.t) =
+  let fail fmt =
+    Printf.ksprintf (fun m -> failwith ("legality certificate: " ^ m)) fmt
+  in
+  (match Loop_nest.validate after with
+  | Ok () -> ()
+  | Error e -> fail "transformed nest fails validate: %s" e);
+  (match tr with
+  | Schedule.Im2col -> () (* rewrites the whole op; nothing to compare *)
+  | Schedule.Unroll f ->
+      if Loop_nest.iteration_count after * f <> Loop_nest.iteration_count before
+      then fail "unroll by %d changed the iteration volume" f;
+      if List.length after.Loop_nest.body <> f * List.length before.Loop_nest.body
+      then fail "unroll by %d did not replicate the body %d times" f f
+  | Schedule.Tile _ | Schedule.Parallelize _ | Schedule.Interchange _
+  | Schedule.Swap _ | Schedule.Vectorize ->
+      if Loop_nest.iteration_count after <> Loop_nest.iteration_count before
+      then fail "iteration volume changed";
+      if after.Loop_nest.buffers <> before.Loop_nest.buffers then
+        fail "buffer declarations changed";
+      if after.Loop_nest.inits <> before.Loop_nest.inits then
+        fail "buffer initializations changed");
+  let leg () = Legality.analyze before in
+  let p0 = Loop_transforms.point_band_start before in
+  match tr with
+  | Schedule.Parallelize sizes ->
+      let leg = leg () in
+      Array.iteri
+        (fun l s ->
+          if s > 0 && not (Legality.can_parallelize leg (p0 + l)) then
+            fail "loop %d is not provably parallel" (p0 + l))
+        sizes
+  | Schedule.Swap i ->
+      if not (Legality.can_interchange (leg ()) (p0 + i)) then
+        fail "swapping loops %d and %d reverses a dependence" (p0 + i)
+          (p0 + i + 1)
+  | Schedule.Tile _ | Schedule.Interchange _ ->
+      if not (Legality.can_tile (leg ()) ~band_start:p0) then
+        fail "point band is not provably permutable"
+  | Schedule.Vectorize ->
+      if not (Legality.can_vectorize (leg ())) then
+        fail "innermost loop carries a non-reduction dependence"
+  | Schedule.Unroll _ | Schedule.Im2col -> ()
+
 let record state tr nest =
+  if !certify then certificate_check state.nest tr nest;
   { state with nest; applied = state.applied @ [ tr ] }
 
 (* Point loops whose op dim is a reduction cannot run in parallel: that
@@ -86,11 +154,13 @@ let apply state (tr : Schedule.transformation) =
           match Im2col.rewrite state.op with
           | Error _ as e -> e
           | Ok (gemm, `Packing_elements elems) ->
+              let nest = Lower.to_loop_nest gemm in
+              if !certify then certificate_check state.nest tr nest;
               Ok
                 {
                   state with
                   op = gemm;
-                  nest = Lower.to_loop_nest gemm;
+                  nest;
                   applied = state.applied @ [ tr ];
                   packing_elements = elems;
                 })

@@ -51,7 +51,20 @@ val is_done : t -> bool
 val apply : t -> Schedule.transformation -> (t, string) result
 (** Apply one transformation, enforcing the masking rules above and the
     structural validity of parameters (divisor tile sizes, in-range swap
-    indices, valid permutations). *)
+    indices, valid permutations). With certification enabled (below),
+    every accepted transformation is additionally re-proved after the
+    fact and a failed proof raises [Failure]. *)
+
+val set_certify : bool -> unit
+(** Toggle post-transform legality certificates: the transformed nest
+    must validate, iteration volume and buffer declarations must be
+    preserved, and the transformation must pass the static
+    dependence-analysis verdict ({!Legality}) on the nest it transformed.
+    Certification is strict — conservative analysis failures raise even
+    for transformations that happen to preserve semantics. Defaults to
+    the MLIR_RL_CERTIFY environment variable (1/true/yes). *)
+
+val certify_enabled : unit -> bool
 
 val apply_all : Linalg.t -> Schedule.t -> (t, string) result
 (** Fold {!apply} over a whole schedule from {!init}. *)
