@@ -13,20 +13,23 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [--fast] [table1] [table2] [fig5] [fig6] [fig7] [fig8] [ablation] [faults] [legality] [micro]";
+    "usage: main.exe [--fast|--quick] [table1] [table2] [fig5] [fig6] [fig7] [fig8] [ablation] [faults] [legality] [throughput] [micro]";
   exit 2
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let fast = List.mem "--fast" args in
-  let wanted = List.filter (fun a -> a <> "--fast") args in
+  (* --quick is an alias for --fast (CI uses it for smoke runs). *)
+  let fast = List.mem "--fast" args || List.mem "--quick" args in
+  let wanted =
+    List.filter (fun a -> a <> "--fast" && a <> "--quick") args
+  in
   List.iter
     (fun a ->
       if
         not
           (List.mem a
              [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "ablation";
-               "faults"; "legality"; "micro" ])
+               "faults"; "legality"; "throughput"; "micro" ])
       then begin
         Printf.printf "unknown experiment %S\n" a;
         usage ()
@@ -60,6 +63,7 @@ let () =
   if want "ablation" then Exp_ablation.run c (trained_agent ());
   if want "faults" then Exp_faults.run c;
   if want "legality" then Exp_legality.run c;
+  if want "throughput" then Exp_throughput.run c;
   if want "micro" then Micro.run ();
   Printf.printf "\nall experiments done in %.1f s wall-clock\n"
     (Unix.gettimeofday () -. t0)

@@ -6,6 +6,27 @@
 open Bechamel
 open Toolkit
 
+(* The zero-skip inner loop Tensor.matmul used to carry (an
+   [if av <> 0.0] guard per element). Kept here as a reference kernel
+   so the "matmul dense vs zero-skip" rows quantify what dropping it
+   bought: policy activations are dense, so the branch was pure
+   overhead on the hot path. *)
+let matmul_zero_skip (a : Tensor.t) (b : Tensor.t) =
+  let m = a.Tensor.shape.(0) and k = a.Tensor.shape.(1) in
+  let n = b.Tensor.shape.(1) in
+  let out = Array.make (m * n) 0.0 in
+  for i = 0 to m - 1 do
+    for p = 0 to k - 1 do
+      let av = a.Tensor.data.((i * k) + p) in
+      if av <> 0.0 then
+        for j = 0 to n - 1 do
+          out.((i * n) + j) <-
+            out.((i * n) + j) +. (av *. b.Tensor.data.((p * n) + j))
+        done
+    done
+  done;
+  { Tensor.shape = [| m; n |]; data = out }
+
 let make_tests () =
   let op = Linalg.matmul ~m:512 ~n:512 ~k:512 () in
   let sched =
@@ -29,6 +50,15 @@ let make_tests () =
       ("B", Array.init 256 (fun _ -> Util.Rng.uniform rng));
     ]
   in
+  (* Dense activations at the policy's forward shape (a batch of 8
+     observations through a 64-wide layer). *)
+  let mk_dense rows cols =
+    {
+      Tensor.shape = [| rows; cols |];
+      data = Array.init (rows * cols) (fun _ -> Util.Rng.uniform rng -. 0.5);
+    }
+  in
+  let mm_a = mk_dense 8 64 and mm_b = mk_dense 64 64 in
   Test.make_grouped ~name:"micro"
     [
       Test.make ~name:"cost-model estimate"
@@ -56,6 +86,10 @@ let make_tests () =
         (Staged.stage
            (let text = Ir_printer.to_string state.Sched_state.nest in
             fun () -> Ir_parser.parse text));
+      Test.make ~name:"matmul dense 8x64.64x64"
+        (Staged.stage (fun () -> Tensor.matmul mm_a mm_b));
+      Test.make ~name:"matmul zero-skip 8x64.64x64"
+        (Staged.stage (fun () -> matmul_zero_skip mm_a mm_b));
     ]
 
 let run () =

@@ -201,7 +201,7 @@ let dataset_cmd =
 
 let train_cmd =
   let run iterations hidden seed immediate specs save_path fault_rate fault_seed
-      noise checkpoint_path checkpoint_every resume =
+      noise checkpoint_path checkpoint_every resume jobs =
     let cfg = Env_config.default in
     let cfg =
       if immediate then Env_config.with_reward_mode Env_config.Immediate cfg
@@ -260,6 +260,17 @@ let train_cmd =
           checkpoint_every
           (if resume then " (resuming if a checkpoint exists)" else "")
     | None -> ());
+    if jobs < 1 then begin
+      Format.eprintf "--jobs must be >= 1@.";
+      exit 2
+    end;
+    (* The parallelism banner goes to stderr: stdout must stay
+       byte-identical across --jobs values (that equality is what the
+       determinism smoke tests diff). *)
+    if jobs > 1 then
+      Format.eprintf
+        "parallel collection: %d worker domains (results identical to --jobs 1)@."
+        jobs;
     Format.printf "@.";
     let config =
       {
@@ -268,6 +279,7 @@ let train_cmd =
         seed;
         checkpoint_path;
         checkpoint_every;
+        jobs;
       }
     in
     let _ =
@@ -359,17 +371,30 @@ let train_cmd =
             "Resume from the checkpoint at --checkpoint (starts fresh when \
              none exists); the resumed run is deterministic")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Worker domains for parallel episode collection. Training \
+             results are bit-identical for any value (see \
+             docs/parallelism.md)")
+  in
   Cmd.v
     (Cmd.info "train" ~doc:"Train the multi-action PPO agent")
     Term.(
       const run $ iters $ hidden $ seed $ immediate $ specs $ save_path
       $ fault_rate $ fault_seed $ noise $ checkpoint_path $ checkpoint_every
-      $ resume)
+      $ resume $ jobs)
 
 (* --- infer --- *)
 
 let infer_cmd =
-  let run spec hidden load_path trials =
+  let run spec hidden load_path trials jobs =
+    if jobs < 1 then begin
+      Format.eprintf "--jobs must be >= 1@.";
+      exit 2
+    end;
     let op = op_of_spec spec in
     let cfg = Env_config.default in
     let env = Env.create cfg in
@@ -384,7 +409,7 @@ let infer_cmd =
     Format.printf "greedy   : %s (%.1fx)@." (Schedule.to_string sched) speedup;
     if trials > 0 then begin
       let sched_s, speedup_s =
-        Trainer.sampled_best (Util.Rng.create 1) env policy op ~trials
+        Trainer.sampled_best ~jobs (Util.Rng.create 1) env policy op ~trials
       in
       Format.printf "best of %d: %s (%.1fx)@." trials
         (Schedule.to_string sched_s) speedup_s
@@ -402,9 +427,15 @@ let infer_cmd =
   let trials =
     Arg.(value & opt int 16 & info [ "trials" ] ~doc:"Sampled rollouts to try")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ]
+          ~doc:"Worker domains for the sampled trials (same result for any value)")
+  in
   Cmd.v
     (Cmd.info "infer" ~doc:"Run a trained agent on one operation")
-    Term.(const run $ spec_arg $ hidden $ load_path $ trials)
+    Term.(const run $ spec_arg $ hidden $ load_path $ trials $ jobs)
 
 (* --- analyze: dependence analysis, legality verdicts, lint --- *)
 

@@ -1,6 +1,7 @@
 type meta = {
   iteration : int;
   rng_state : int64;
+  episodes : int;
   best_speedup : float;
   measurement_seconds : float;
   explored : int;
@@ -9,7 +10,10 @@ type meta = {
   fault_state : (int64 * int) option;
 }
 
-let magic = "mlir-rl-checkpoint v1"
+(* v2 added the global [episodes] counter (parallel rollout engine);
+   v1 files are not readable — training runs are short enough that
+   re-running beats carrying a migration path. *)
+let magic = "mlir-rl-checkpoint v2"
 
 let meta_path path = path ^ ".meta"
 let params_path path = path ^ ".params"
@@ -27,6 +31,7 @@ let write_meta path m =
       output_string oc (magic ^ "\n");
       Printf.fprintf oc "iteration %d\n" m.iteration;
       Printf.fprintf oc "rng_state %Ld\n" m.rng_state;
+      Printf.fprintf oc "episodes %d\n" m.episodes;
       Printf.fprintf oc "best_speedup %h\n" m.best_speedup;
       Printf.fprintf oc "measurement_seconds %h\n" m.measurement_seconds;
       Printf.fprintf oc "explored %d\n" m.explored;
@@ -59,6 +64,7 @@ let parse_meta lines =
   let ( let* ) = Result.bind in
   let* iteration = field "iteration" int_of_string_opt in
   let* rng_state = field "rng_state" Int64.of_string_opt in
+  let* episodes = field "episodes" int_of_string_opt in
   let* best_speedup = field "best_speedup" float_of_string_opt in
   let* measurement_seconds = field "measurement_seconds" float_of_string_opt in
   let* explored = field "explored" int_of_string_opt in
@@ -79,6 +85,7 @@ let parse_meta lines =
     {
       iteration;
       rng_state;
+      episodes;
       best_speedup;
       measurement_seconds;
       explored;

@@ -16,7 +16,10 @@
 
 type meta = {
   iteration : int;  (** completed training iterations *)
-  rng_state : int64;  (** trainer rng (collection + PPO shuffling) *)
+  rng_state : int64;  (** trainer update rng (PPO minibatch shuffling) *)
+  episodes : int;
+      (** global episode counter — per-episode rng streams are derived
+          from it, so it must survive a resume *)
   best_speedup : float;
   measurement_seconds : float;  (** cumulative simulated measuring time *)
   explored : int;  (** evaluator's schedules-explored counter *)

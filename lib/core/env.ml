@@ -49,6 +49,33 @@ let create ?evaluator ?robust cfg =
     episode_degraded = 0;
   }
 
+let fork t =
+  (* Worker-local environment for parallel episode collection: forked
+     measurement stack (shared base cache, per-fork noise/fault streams
+     and counters), fresh episode state and zeroed accounting. The
+     trainer merges the per-episode accounting of consumed episodes back
+     into the primary environment. *)
+  let robust = Option.map Robust_evaluator.fork t.robust in
+  let ev =
+    match robust with
+    | Some r -> Robust_evaluator.evaluator r
+    | None -> Evaluator.fork t.ev
+  in
+  {
+    cfg = t.cfg;
+    ev;
+    robust;
+    sched = None;
+    steps = 0;
+    finished = false;
+    prev_seconds = 0.0;
+    last_obs = [||];
+    measurement_seconds = 0.0;
+    episode_measurement_seconds = 0.0;
+    degraded_total = 0;
+    episode_degraded = 0;
+  }
+
 let config t = t.cfg
 let evaluator t = t.ev
 let robust t = t.robust

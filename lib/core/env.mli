@@ -38,6 +38,15 @@ val create : ?evaluator:Evaluator.t -> ?robust:Robust_evaluator.t -> Env_config.
     underlying evaluator is used for baselines); [evaluator] is then
     ignored. *)
 
+val fork : t -> t
+(** A worker-local copy for parallel rollouts: the measurement stack is
+    forked ({!Evaluator.fork} / {!Robust_evaluator.fork} — the base-time
+    cache is shared and domain-safe, noise/fault streams and counters
+    are per-fork), episode state and accounting start fresh. The caller
+    seeds the fork's streams per episode and merges
+    {!episode_measurement_seconds} / {!episode_degraded} and the
+    evaluator counters back in deterministic order. *)
+
 val config : t -> Env_config.t
 val evaluator : t -> Evaluator.t
 

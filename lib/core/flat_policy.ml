@@ -61,6 +61,24 @@ let act rng t ~obs ~mask =
   let c = Distributions.sample rng (Autodiff.value lp) 0 in
   (c, Tensor.get2 (Autodiff.value lp) 0 c, Tensor.get2 (Autodiff.value value) 0 0)
 
+let act_batch rngs t ~obs ~masks =
+  (* Tape-free batched [act]; row-independent kernels + per-row rngs
+     make this bit-equal to acting on each row alone (see Policy). *)
+  let b = Array.length obs in
+  if Array.length rngs <> b || Array.length masks <> b then
+    invalid_arg "Flat_policy.act_batch: obs/masks/rngs length mismatch";
+  let relu = Tensor.map (fun v -> if v > 0.0 then v else 0.0) in
+  let obs_t = obs_tensor_of_rows obs in
+  let feat = relu (Layers.forward_batch t.backbone obs_t) in
+  let logits = Layers.forward_batch t.head feat in
+  let value = Layers.forward_batch t.value_net obs_t in
+  let lp =
+    Distributions.masked_log_probs_values logits ~mask:(Array.map safe_row masks)
+  in
+  let choices = Distributions.sample_batch rngs lp in
+  Array.init b (fun i ->
+      (choices.(i), Tensor.get2 lp i choices.(i), Tensor.get2 value i 0))
+
 let act_greedy t ~obs ~mask =
   let tape = Autodiff.Tape.create () in
   let logits, _ = forward tape t (obs_tensor_of_rows [| obs |]) in

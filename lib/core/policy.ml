@@ -209,6 +209,94 @@ let act ?(temperature = 1.0) rng t ~obs ~masks =
     !logp,
     value )
 
+(* -- batched, tape-free sampling --
+
+   The parallel rollout engine advances a slab of episodes in lockstep
+   and asks for all their next actions at once. Stacking the
+   observations into one matrix amortizes the forward pass; because
+   every kernel on this path is row-independent with per-row
+   accumulation order identical to the single-row case, and each row
+   draws only from its own rng, [act_batch] on a batch is bit-equal to
+   [act] on each row separately. *)
+
+type head_values = {
+  v_t : Tensor.t;
+  v_tile : Tensor.t;
+  v_par : Tensor.t;
+  v_swap : Tensor.t;
+  v_value : Tensor.t;
+}
+
+let forward_values t obs_tensor =
+  let relu = Tensor.map (fun v -> if v > 0.0 then v else 0.0) in
+  let feat = relu (Layers.forward_batch t.backbone obs_tensor) in
+  {
+    v_t = Layers.forward_batch t.t_head feat;
+    v_tile = Layers.forward_batch t.tile_head feat;
+    v_par = Layers.forward_batch t.par_head feat;
+    v_swap = Layers.forward_batch t.swap_head feat;
+    v_value = Layers.forward_batch t.value_net obs_tensor;
+  }
+
+let act_batch ?(temperature = 1.0) rngs t ~obs ~masks =
+  let cfg = t.cfg in
+  let n = cfg.Env_config.n_max in
+  let m = Env_config.n_tile_choices cfg in
+  let b = Array.length obs in
+  if Array.length rngs <> b || Array.length masks <> b then
+    invalid_arg "Policy.act_batch: obs/masks/rngs length mismatch";
+  let draw rng lp row =
+    if temperature = 1.0 then Distributions.sample rng lp row
+    else Distributions.sample_tempered rng lp row ~temperature
+  in
+  let heads = forward_values t (obs_tensor_of_rows obs) in
+  let t_mask = Array.map (fun ms -> safe_row ms.Action_space.t_mask) masks in
+  let t_lp = Distributions.masked_log_probs_values heads.v_t ~mask:t_mask in
+  let tis = Array.init b (fun i -> draw rngs.(i) t_lp i) in
+  let logps = Array.init b (fun i -> Tensor.get2 t_lp i tis.(i)) in
+  let tile_choices = Array.init b (fun _ -> Array.make n 0) in
+  let swap_choices = Array.make b 0 in
+  (* Branch heads are evaluated for the whole batch (they were computed
+     anyway), but row [i] draws from its rng only when row [i] took the
+     branch — so each row's rng consumption matches [act] exactly. *)
+  let branch head pick_mask wanted =
+    if Array.exists (fun ti -> ti = wanted) tis then
+      for l = 0 to n - 1 do
+        let logits = Tensor.slice_cols head ~lo:(l * m) ~hi:((l + 1) * m) in
+        let mask = Array.init b (fun i -> safe_row (pick_mask masks.(i)).(l)) in
+        let lp = Distributions.masked_log_probs_values logits ~mask in
+        for i = 0 to b - 1 do
+          if tis.(i) = wanted then begin
+            let c = draw rngs.(i) lp i in
+            tile_choices.(i).(l) <- c;
+            logps.(i) <- logps.(i) +. Tensor.get2 lp i c
+          end
+        done
+      done
+  in
+  branch heads.v_tile (fun ms -> ms.Action_space.tile_mask) Action_space.t_tile;
+  branch heads.v_par (fun ms -> ms.Action_space.par_mask)
+    Action_space.t_parallelize;
+  if Array.exists (fun ti -> ti = Action_space.t_interchange) tis then begin
+    let swap_mask = Array.map (fun ms -> safe_row ms.Action_space.swap_mask) masks in
+    let swap_lp = Distributions.masked_log_probs_values heads.v_swap ~mask:swap_mask in
+    for i = 0 to b - 1 do
+      if tis.(i) = Action_space.t_interchange then begin
+        let c = draw rngs.(i) swap_lp i in
+        swap_choices.(i) <- c;
+        logps.(i) <- logps.(i) +. Tensor.get2 swap_lp i c
+      end
+    done
+  end;
+  Array.init b (fun i ->
+      ( {
+          Action_space.transform = tis.(i);
+          tile_choices = tile_choices.(i);
+          swap_choice = swap_choices.(i);
+        },
+        logps.(i),
+        Tensor.get2 heads.v_value i 0 ))
+
 let act_greedy t ~obs ~masks =
   let cfg = t.cfg in
   let n = cfg.Env_config.n_max in

@@ -39,6 +39,20 @@ val act :
     log-probability is always the untempered policy's, so training must
     use the default. *)
 
+val act_batch :
+  ?temperature:float ->
+  Util.Rng.t array ->
+  t ->
+  obs:float array array ->
+  masks:Action_space.masks array ->
+  (Action_space.hierarchical * float * float) array
+(** Batched, tape-free {!act}: one forward pass for a whole slab of
+    concurrently advancing episodes, row [i] sampling from [rngs.(i)]
+    only. Bit-equal to calling {!act}'s sampling math per row (every
+    kernel on this path is row-independent with identical accumulation
+    order), so results do not depend on how episodes are batched —
+    the keystone of the [--jobs]-independent determinism contract. *)
+
 val act_greedy :
   t ->
   obs:float array ->

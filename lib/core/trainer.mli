@@ -6,7 +6,25 @@
     state, RNG streams and accounting every [checkpoint_every]
     iterations, and [~resume:true] continues a killed run
     deterministically — the resumed run's statistics are identical to
-    an uninterrupted run's. *)
+    an uninterrupted run's.
+
+    {2 Parallel collection}
+
+    With [jobs > 1] episode collection fans out over a
+    {!Util.Domain_pool} of OCaml 5 domains: each worker plays a
+    contiguous range of global episode indices on {!Env.fork}ed
+    environments, advancing up to [inference_batch] episodes in
+    lockstep so each policy forward pass prices a whole slab of
+    observations at once ({!Policy.act_batch}). The PPO update always
+    runs on the main domain.
+
+    Every episode's random streams (op choice, actions, measurement
+    jitter, fault injection) are derived purely from
+    [(seed, global episode index)] via {!Util.Rng.derive}, and the main
+    domain consumes collected episodes in strictly increasing index
+    order — so a seeded run is bit-reproducible for {e any} [jobs]
+    value: identical iteration statistics, identical checkpoint bytes.
+    See docs/parallelism.md for the full contract. *)
 
 type config = {
   ppo : Ppo.config;
@@ -18,12 +36,19 @@ type config = {
   checkpoint_every : int;
       (** checkpoint every this many iterations (and always at the
           last); [<= 0] disables *)
+  jobs : int;
+      (** worker domains for episode collection (1 = fully serial on
+          the main domain); results are identical for any value *)
+  inference_batch : int;
+      (** episodes each worker advances in lockstep per policy forward
+          pass (the batched-inference slab size); also benefits
+          [jobs = 1] *)
 }
 
 val default_config : config
 (** Paper hyperparameters with a modest iteration count; benches override
     [iterations]. Checkpointing is off ([checkpoint_path = None],
-    [checkpoint_every = 10]). *)
+    [checkpoint_every = 10]); [jobs = 1], [inference_batch = 8]. *)
 
 type iteration_stats = {
   iteration : int;
@@ -35,6 +60,7 @@ type iteration_stats = {
   schedules_explored : int;  (** cumulative evaluator measurements *)
   degraded_measurements : int;
       (** cumulative measurements that fell back to the cost model *)
+  episodes : int;  (** cumulative episodes consumed by training *)
 }
 
 val train :
@@ -51,7 +77,7 @@ val train :
     restores the latest checkpoint at [config.checkpoint_path] if one
     exists, and starts fresh otherwise; it raises [Invalid_argument]
     when no [checkpoint_path] is configured or the checkpoint is
-    corrupt. *)
+    corrupt. Checkpoint/resume composes with any [jobs] value. *)
 
 val train_flat :
   ?callback:(iteration_stats -> unit) ->
@@ -69,6 +95,7 @@ val greedy_rollout : Env.t -> Policy.t -> Linalg.t -> Schedule.t * float
 
 val sampled_best :
   ?temperature:float ->
+  ?jobs:int ->
   Util.Rng.t ->
   Env.t ->
   Policy.t ->
@@ -78,4 +105,8 @@ val sampled_best :
 (** Sample [trials] stochastic episodes and keep the best schedule —
     the inference mode used for the Figure 6 exploration comparison.
     [temperature] (default 1.5) flattens the policy so a converged
-    (low-entropy) agent still proposes diverse candidates. *)
+    (low-entropy) agent still proposes diverse candidates. [jobs]
+    (default 1) spreads the trials over worker domains; per-trial rng
+    streams are split off [rng] up front and trial accounting is merged
+    back into [env] in trial order, so the result and the evaluator
+    counters are identical for any [jobs]. *)

@@ -21,6 +21,43 @@ let masked_log_probs tape logits ~mask =
   let masked = Autodiff.add tape logits (Autodiff.const tape penalty) in
   Autodiff.log_softmax tape masked
 
+let masked_log_probs_values logits ~mask =
+  if Array.length logits.Tensor.shape <> 2 then
+    invalid_arg "Distributions.masked_log_probs: expected rank 2";
+  let m = logits.Tensor.shape.(0) and k = logits.Tensor.shape.(1) in
+  if Array.length mask <> m then
+    invalid_arg "Distributions.masked_log_probs: one mask row per batch row";
+  Array.iter
+    (fun row ->
+      if Array.length row <> k then
+        invalid_arg "Distributions.masked_log_probs: mask arity mismatch";
+      if not (Array.exists (fun b -> b) row) then
+        invalid_arg "Distributions.masked_log_probs: empty action mask")
+    mask;
+  (* Same numerics as the tape path: add the penalty, then the row-wise
+     max-shift log-softmax of [Autodiff.log_softmax], in the same
+     accumulation order, so batched inference log-probs are bit-equal to
+     the training-time values. *)
+  let out = Tensor.zeros [| m; k |] in
+  for i = 0 to m - 1 do
+    let masked j =
+      Tensor.get2 logits i j +. (if mask.(i).(j) then 0.0 else mask_penalty)
+    in
+    let row_max = ref neg_infinity in
+    for j = 0 to k - 1 do
+      row_max := Float.max !row_max (masked j)
+    done;
+    let sum = ref 0.0 in
+    for j = 0 to k - 1 do
+      sum := !sum +. exp (masked j -. !row_max)
+    done;
+    let log_z = !row_max +. log !sum in
+    for j = 0 to k - 1 do
+      Tensor.set2 out i j (masked j -. log_z)
+    done
+  done;
+  out
+
 let sample rng log_probs row =
   let k = log_probs.Tensor.shape.(1) in
   let u = Util.Rng.uniform rng in
@@ -66,6 +103,12 @@ let sample_tempered rng log_probs row ~temperature =
      done
    with Exit -> ());
   !chosen
+
+let sample_batch rngs log_probs =
+  let m = log_probs.Tensor.shape.(0) in
+  if Array.length rngs <> m then
+    invalid_arg "Distributions.sample_batch: one rng per batch row";
+  Array.init m (fun i -> sample rngs.(i) log_probs i)
 
 let argmax log_probs row = Tensor.argmax_row log_probs row
 

@@ -15,6 +15,18 @@ val masked_log_probs :
     entries pushed to ~-inf. Each mask row must allow at least one
     action. *)
 
+val masked_log_probs_values : Tensor.t -> mask:bool array array -> Tensor.t
+(** Tape-free twin of {!masked_log_probs} for batched inference: same
+    validation, same penalty, same max-shift log-softmax numerics, but
+    on raw tensors with no gradient recording. Row [i] depends only on
+    logits row [i] and mask row [i]. *)
+
+val sample_batch : Util.Rng.t array -> Tensor.t -> int array
+(** [sample_batch rngs log_probs] draws one action per row of a
+    \[batch; k\] log-probability tensor, row [i] using [rngs.(i)] —
+    exactly one uniform per row, so per-row streams stay independent of
+    the batch composition. *)
+
 val sample : Util.Rng.t -> Tensor.t -> int -> int
 (** [sample rng log_probs row] draws an index from the categorical
     distribution of the given row of a \[batch; k\] log-probability

@@ -39,6 +39,31 @@ let forward_mlp tape m x =
   in
   go 0 x m.layers
 
+(* Tape-free inference path. Rollout collection only needs forward
+   values, and building an autodiff tape per step is the dominant cost
+   of acting. These mirror the tape ops bit-for-bit: [Tensor.matmul] /
+   [Tensor.add_bias] are the exact forward kernels the tape ops call,
+   and the ReLU below is [Autodiff.relu]'s forward map. Each output row
+   depends only on the matching input row, so a batched forward equals
+   the per-row forwards exactly (same float accumulation order). *)
+
+let forward_linear_values l x =
+  Tensor.add_bias (Tensor.matmul x l.w.Autodiff.Param.data) l.b.Autodiff.Param.data
+
+let forward_batch m x =
+  let n = List.length m.layers in
+  let rec go i x = function
+    | [] -> x
+    | l :: rest ->
+        let y = forward_linear_values l x in
+        let y =
+          if i < n - 1 then Tensor.map (fun v -> if v > 0.0 then v else 0.0) y
+          else y
+        in
+        go (i + 1) y rest
+  in
+  go 0 x m.layers
+
 let mlp_params m = List.concat_map linear_params m.layers
 
 let param_count params =

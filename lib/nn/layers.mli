@@ -20,5 +20,15 @@ val mlp : Util.Rng.t -> dims:int list -> string -> mlp
 (** [mlp rng ~dims:\[in; h1; ...; out\] name] builds len-1 linear layers. *)
 
 val forward_mlp : Autodiff.Tape.t -> mlp -> Autodiff.node -> Autodiff.node
+
+val forward_linear_values : linear -> Tensor.t -> Tensor.t
+(** Tape-free [x * w + b] on raw tensors — no gradients recorded. *)
+
+val forward_batch : mlp -> Tensor.t -> Tensor.t
+(** Tape-free MLP forward for inference. Produces bit-identical values
+    to {!forward_mlp} (same kernels, same accumulation order), and each
+    output row depends only on the same input row — so one call on a
+    stacked \[batch; in_dim\] matrix equals [batch] single-row calls. *)
+
 val mlp_params : mlp -> Autodiff.Param.t list
 val param_count : Autodiff.Param.t list -> int

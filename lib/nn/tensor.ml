@@ -50,19 +50,22 @@ let matmul a b =
   if k <> k' then invalid_arg "Tensor.matmul: inner dimension mismatch";
   let out = Array.make (m * n) 0.0 in
   let ad = a.data and bd = b.data in
+  (* No zero-skip here: NN weights and activations are dense, so an
+     [if av <> 0.0] per element mispredicts far more than it saves
+     (bench/micro.ml "matmul dense vs zero-skip" quantifies it). The
+     transpose-A variant keeps its skip — it runs on backward grads,
+     which masking and ReLU do zero out in practice. *)
   for i = 0 to m - 1 do
     let arow = i * k in
     let orow = i * n in
     for p = 0 to k - 1 do
       let av = Array.unsafe_get ad (arow + p) in
-      if av <> 0.0 then begin
-        let brow = p * n in
-        for j = 0 to n - 1 do
-          Array.unsafe_set out (orow + j)
-            (Array.unsafe_get out (orow + j)
-            +. (av *. Array.unsafe_get bd (brow + j)))
-        done
-      end
+      let brow = p * n in
+      for j = 0 to n - 1 do
+        Array.unsafe_set out (orow + j)
+          (Array.unsafe_get out (orow + j)
+          +. (av *. Array.unsafe_get bd (brow + j)))
+      done
     done
   done;
   { shape = [| m; n |]; data = out }
@@ -116,6 +119,18 @@ let matmul_transpose_b a b =
     done
   done;
   { shape = [| m; n |]; data = out }
+
+let slice_cols t ~lo ~hi =
+  check_rank2 "Tensor.slice_cols" t;
+  let m = t.shape.(0) and n = t.shape.(1) in
+  if lo < 0 || hi > n || lo >= hi then
+    invalid_arg "Tensor.slice_cols: bad column range";
+  let w = hi - lo in
+  let out = Array.make (m * w) 0.0 in
+  for i = 0 to m - 1 do
+    Array.blit t.data ((i * n) + lo) out (i * w) w
+  done;
+  { shape = [| m; w |]; data = out }
 
 let transpose t =
   check_rank2 "Tensor.transpose" t;

@@ -52,6 +52,10 @@ val matmul_transpose_b : t -> t -> t
 val transpose : t -> t
 (** Rank-2 transpose. *)
 
+val slice_cols : t -> lo:int -> hi:int -> t
+(** [slice_cols t ~lo ~hi] copies columns [lo, hi) of a rank-2 tensor
+    into a fresh [m; hi - lo] tensor. *)
+
 val map : (float -> float) -> t -> t
 val map2 : (float -> float -> float) -> t -> t -> t
 

@@ -1,20 +1,36 @@
 type t = {
   machine : Machine.t;
-  base_cache : (string, float) Hashtbl.t;
+  base_cache : (string, float) Util.Sharded_cache.t;
   mutable explored : int;
   noise : float;
   noise_rng : Util.Rng.t;
 }
 
 let timeout_factor = 10.0
+let default_cache_capacity = 4096
 
-let create ?(machine = Machine.e5_2680_v4) ?(noise = 0.0) ?(noise_seed = 0) () =
+let create ?(machine = Machine.e5_2680_v4) ?(noise = 0.0) ?(noise_seed = 0)
+    ?(cache_capacity = default_cache_capacity) () =
   {
     machine;
-    base_cache = Hashtbl.create 64;
+    base_cache = Util.Sharded_cache.create ~capacity:cache_capacity ();
     explored = 0;
     noise;
     noise_rng = Util.Rng.create noise_seed;
+  }
+
+let fork t =
+  (* Same machine and noise sigma, and the same (shared, domain-safe)
+     base cache — base times are pure so every fork may reuse them. The
+     explored counter and jitter stream are per-fork: each parallel
+     episode runs its own decorrelated noise stream and reports its
+     explored delta for the trainer to merge. *)
+  {
+    machine = t.machine;
+    base_cache = t.base_cache;
+    explored = 0;
+    noise = t.noise;
+    noise_rng = Util.Rng.create 0;
   }
 
 let jitter t seconds =
@@ -22,21 +38,16 @@ let jitter t seconds =
   else seconds *. exp (t.noise *. Util.Rng.gaussian t.noise_rng)
 
 let machine t = t.machine
+let noise t = t.noise
 
 let base_seconds t (op : Linalg.t) =
   (* Keyed by the canonical digest, not op_name: two ops sharing a name
      but differing in shape must not reuse each other's baseline. *)
   let key = Linalg.digest op in
-  match Hashtbl.find_opt t.base_cache key with
-  | Some s -> s
-  | None ->
+  Util.Sharded_cache.find_or_compute t.base_cache key (fun () ->
       let nest = Lower.to_loop_nest op in
-      let s =
-        Cost_model.seconds ~machine:t.machine ~iter_kinds:op.Linalg.iter_kinds
-          nest
-      in
-      Hashtbl.add t.base_cache key s;
-      s
+      Cost_model.seconds ~machine:t.machine ~iter_kinds:op.Linalg.iter_kinds
+        nest)
 
 let state_seconds t (state : Sched_state.t) =
   t.explored <- t.explored + 1;
@@ -66,3 +77,4 @@ let reset_explored t = t.explored <- 0
 let set_explored t n = t.explored <- n
 let noise_state t = Util.Rng.state t.noise_rng
 let set_noise_state t s = Util.Rng.set_state t.noise_rng s
+let cache_stats t = Util.Sharded_cache.stats t.base_cache

@@ -8,15 +8,33 @@
 type t
 (** An evaluator bound to a machine; caches base times per op. *)
 
-val create : ?machine:Machine.t -> ?noise:float -> ?noise_seed:int -> unit -> t
+val create :
+  ?machine:Machine.t ->
+  ?noise:float ->
+  ?noise_seed:int ->
+  ?cache_capacity:int ->
+  unit ->
+  t
 (** Defaults to {!Machine.e5_2680_v4} and noiseless measurements.
     [noise] adds log-normal multiplicative jitter to every measurement
     (sigma of the log, e.g. 0.05 for ~5% timing noise) — real machines
     measure like this, and the paper's training signal carried such
     noise. Base times stay noiseless so speedups are jittered only
-    through the measurement. *)
+    through the measurement. [cache_capacity] bounds the base-time
+    cache (default 4096 entries, FIFO eviction — an eviction only costs
+    a recompute). *)
+
+val fork : t -> t
+(** A worker-local evaluator for parallel rollouts: shares the (domain
+    safe, sharded) base-time cache, copies machine and noise sigma, and
+    starts a fresh explored counter and jitter stream. The caller is
+    expected to seed the jitter stream via {!set_noise_state} and merge
+    the fork's {!explored} delta back. *)
 
 val machine : t -> Machine.t
+
+val noise : t -> float
+(** The jitter sigma this evaluator was created with. *)
 
 val base_seconds : t -> Linalg.t -> float
 (** Estimated time of the op with no transformation (cached). *)
@@ -54,3 +72,7 @@ val noise_state : t -> int64
 
 val set_noise_state : t -> int64 -> unit
 (** Restore a jitter stream saved by {!noise_state}. *)
+
+val cache_stats : t -> Util.Sharded_cache.stats
+(** Hit/miss/eviction counters of the base-time cache. Forks share the
+    cache, so the counters aggregate across all of them. *)

@@ -70,6 +70,12 @@ let create ?(config = none) ~seed () =
 let config t = t.config
 let calls t = t.calls
 
+let fork t =
+  (* Same fault mix, fresh stream position: parallel episodes each get
+     their own deterministic fault sequence (the trainer seeds it from
+     the episode's derived rng). [crash_on_call] counts per fork. *)
+  { config = t.config; rng = Util.Rng.create 0; calls = 0 }
+
 let draw t =
   t.calls <- t.calls + 1;
   (* Exactly two uniforms per call regardless of outcome, so the stream

@@ -53,6 +53,10 @@ val create : ?config:config -> seed:int -> unit -> t
 val config : t -> config
 val calls : t -> int
 
+val fork : t -> t
+(** Same config, zero calls, a fresh stream the caller is expected to
+    position with {!restore} — one injector per parallel episode. *)
+
 val draw : t -> fault option
 (** Advance the stream by one measurement attempt. [None] means the
     attempt proceeds unharmed. Consumes exactly two random draws per

@@ -73,6 +73,26 @@ let create ?(config = default_config) ?faults ev =
     trace = [];
   }
 
+let fork t =
+  (* Worker-local copy for parallel rollouts: forked evaluator (shared
+     base cache, fresh jitter stream), forked fault injector (caller
+     seeds both), zeroed counters and an empty trace. The trainer merges
+     counter deltas back with {!absorb} in deterministic episode order. *)
+  {
+    config = t.config;
+    ev = Evaluator.fork t.ev;
+    faults = Option.map Faults.fork t.faults;
+    measurements = 0;
+    degraded = 0;
+    total_retries = 0;
+    trace = [];
+  }
+
+let absorb t ~measurements ~retries ~degraded =
+  t.measurements <- t.measurements + measurements;
+  t.total_retries <- t.total_retries + retries;
+  t.degraded <- t.degraded + degraded
+
 let evaluator t = t.ev
 let faults t = t.faults
 let config t = t.config

@@ -64,6 +64,17 @@ val create : ?config:config -> ?faults:Faults.t -> Evaluator.t -> t
     repeats still smooth measurement noise. Raises [Invalid_argument]
     on an invalid config. *)
 
+val fork : t -> t
+(** Worker-local copy for parallel episode collection: same config, a
+    {!Evaluator.fork}ed evaluator (shared base cache, fresh jitter
+    stream), a {!Faults.fork}ed injector, zeroed counters, empty trace.
+    The caller seeds the fork's noise/fault streams per episode and
+    merges its counters back with {!absorb}. *)
+
+val absorb : t -> measurements:int -> retries:int -> degraded:int -> unit
+(** Add a fork's counter deltas to this instance (episode-merge step of
+    the parallel trainer). The fork's trace is not merged. *)
+
 val evaluator : t -> Evaluator.t
 val faults : t -> Faults.t option
 val config : t -> config

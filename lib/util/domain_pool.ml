@@ -1,0 +1,95 @@
+type 'a state = Pending | Done of 'a | Failed of exn
+
+type 'a promise = {
+  p_mutex : Mutex.t;
+  p_cond : Condition.t;
+  mutable p_state : 'a state;
+}
+
+type t = {
+  mutex : Mutex.t;
+  cond : Condition.t;  (* work available, or the pool is closing *)
+  queue : (unit -> unit) Queue.t;
+  mutable closing : bool;
+  mutable domains : unit Domain.t array;
+}
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.queue && not pool.closing do
+    Condition.wait pool.cond pool.mutex
+  done;
+  if Queue.is_empty pool.queue then Mutex.unlock pool.mutex
+  else begin
+    let job = Queue.pop pool.queue in
+    Mutex.unlock pool.mutex;
+    (* [job] never raises: submit wraps the task so the exception is
+       stored in the promise and rethrown by [await] on the caller. *)
+    job ();
+    worker_loop pool
+  end
+
+let create ~size =
+  if size < 1 then invalid_arg "Domain_pool.create: size must be >= 1";
+  let pool =
+    {
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      closing = false;
+      domains = [||];
+    }
+  in
+  pool.domains <- Array.init size (fun _ -> Domain.spawn (fun () -> worker_loop pool));
+  pool
+
+let size t = Array.length t.domains
+
+let submit t f =
+  let p =
+    { p_mutex = Mutex.create (); p_cond = Condition.create (); p_state = Pending }
+  in
+  let job () =
+    let result = try Done (f ()) with e -> Failed e in
+    Mutex.lock p.p_mutex;
+    p.p_state <- result;
+    Condition.broadcast p.p_cond;
+    Mutex.unlock p.p_mutex
+  in
+  Mutex.lock t.mutex;
+  if t.closing then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Domain_pool.submit: pool is shut down"
+  end;
+  Queue.push job t.queue;
+  Condition.signal t.cond;
+  Mutex.unlock t.mutex;
+  p
+
+let await p =
+  Mutex.lock p.p_mutex;
+  let rec wait () =
+    match p.p_state with
+    | Pending ->
+        Condition.wait p.p_cond p.p_mutex;
+        wait ()
+    | Done v ->
+        Mutex.unlock p.p_mutex;
+        v
+    | Failed e ->
+        Mutex.unlock p.p_mutex;
+        raise e
+  in
+  wait ()
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  let already = t.closing in
+  t.closing <- true;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex;
+  if not already then Array.iter Domain.join t.domains
+
+let map_array t f xs =
+  let promises = Array.map (fun x -> submit t (fun () -> f x)) xs in
+  Array.map await promises

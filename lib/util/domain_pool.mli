@@ -1,0 +1,42 @@
+(** A fixed pool of OCaml 5 domains with a submit/await API.
+
+    Domains are expensive to spawn (they map to OS threads with their
+    own minor heaps), so long-running parallel phases should create one
+    pool sized to the wanted parallelism and push many small tasks
+    through it. The pool has no external dependencies — it is a plain
+    mutex/condition work queue over [Domain.spawn], built for the
+    parallel rollout engine but generic.
+
+    Tasks run in FIFO submission order (each worker pops the oldest
+    queued task); completion order is unspecified. Task closures must
+    only touch state that is safe to share across domains. *)
+
+type t
+
+type 'a promise
+(** A handle for one submitted task's eventual result. *)
+
+val create : size:int -> t
+(** Spawn [size] worker domains (>= 1). Remember that the main domain
+    also counts toward the machine's cores: for [n]-way parallelism
+    where the caller blocks in {!await}, a pool of [n] workers is
+    right; if the caller works alongside the pool, use [n - 1]. *)
+
+val size : t -> int
+(** Number of worker domains. *)
+
+val submit : t -> (unit -> 'a) -> 'a promise
+(** Queue a task. Raises [Invalid_argument] after {!shutdown}. *)
+
+val await : 'a promise -> 'a
+(** Block until the task finishes; returns its result or re-raises the
+    exception it died with. May be called at most once per promise from
+    the spawning domain (further calls return/raise the same result). *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_array t f xs] submits [f x] for every element and awaits them
+    all, preserving order. *)
+
+val shutdown : t -> unit
+(** Graceful shutdown: lets already-queued tasks finish, then joins all
+    worker domains. Idempotent. Submitting after shutdown raises. *)

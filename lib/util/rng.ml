@@ -23,6 +23,15 @@ let split t =
   let seed = int64 t in
   { state = seed }
 
+let derive seed ~stream =
+  (* Run the seed and the stream id through the splitmix finalizer
+     independently before combining, so that nearby (seed, stream)
+     pairs land on decorrelated streams. Pure: derives the same
+     generator every time without consuming entropy from anything. *)
+  let a = mix (Int64.of_int seed) in
+  let b = mix (Int64.logxor (Int64.of_int stream) 0x5851F42D4C957F2DL) in
+  { state = Int64.logxor a b }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Keep 62 bits so the value fits OCaml's 63-bit native int positively. *)

@@ -14,6 +14,17 @@ val create : int -> t
 val split : t -> t
 (** [split t] derives an independent generator from [t], advancing [t]. *)
 
+val derive : int -> stream:int -> t
+(** [derive seed ~stream] is a pure, stateless split: the generator for
+    logical stream [stream] of master seed [seed]. Calling it twice
+    with the same arguments yields identical streams, and distinct
+    [stream] ids yield decorrelated streams (both ids are run through
+    the splitmix64 finalizer before being combined). [stream] may be
+    negative — the trainer reserves negative ids for infrastructure
+    streams (e.g. minibatch shuffling) and uses the global episode
+    index for per-episode streams, which is what makes parallel
+    episode collection bit-reproducible for any worker count. *)
+
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing [t]. *)
 

@@ -73,6 +73,7 @@ let test_meta_roundtrip () =
     {
       Checkpoint.iteration = 7;
       rng_state = 0xdeadbeefL;
+      episodes = 58;
       best_speedup = 12.5;
       measurement_seconds = 321.75;
       explored = 99;
