@@ -390,7 +390,7 @@ let train_cmd =
 (* --- infer --- *)
 
 let infer_cmd =
-  let run spec hidden load_path trials jobs =
+  let run spec hidden load_path trials jobs seed greedy_only =
     if jobs < 1 then begin
       Format.eprintf "--jobs must be >= 1@.";
       exit 2
@@ -405,13 +405,14 @@ let infer_cmd =
     | Error e ->
         Format.eprintf "failed to load %s: %s@." load_path e;
         exit 1);
+    Format.printf "checkpoint: %s@." (Digest.to_hex (Digest.file load_path));
     let sched, speedup = Trainer.greedy_rollout env policy op in
     Format.printf "greedy   : %s (%.1fx)@." (Schedule.to_string sched) speedup;
-    if trials > 0 then begin
+    if trials > 0 && not greedy_only then begin
       let sched_s, speedup_s =
-        Trainer.sampled_best ~jobs (Util.Rng.create 1) env policy op ~trials
+        Trainer.sampled_best ~jobs (Util.Rng.create seed) env policy op ~trials
       in
-      Format.printf "best of %d: %s (%.1fx)@." trials
+      Format.printf "best of %d (seed %d): %s (%.1fx)@." trials seed
         (Schedule.to_string sched_s) speedup_s
     end
   in
@@ -433,9 +434,200 @@ let infer_cmd =
       & info [ "jobs"; "j" ]
           ~doc:"Worker domains for the sampled trials (same result for any value)")
   in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ]
+          ~doc:
+            "Seed of the sampled-trials search. The greedy line and the \
+             checkpoint digest never depend on it")
+  in
+  let greedy_only =
+    Arg.(
+      value & flag
+      & info [ "greedy-only" ]
+          ~doc:
+            "Skip the sampled search entirely: deterministic output, no rng \
+             consumed (what the serving daemon runs per request)")
+  in
   Cmd.v
     (Cmd.info "infer" ~doc:"Run a trained agent on one operation")
-    Term.(const run $ spec_arg $ hidden $ load_path $ trials $ jobs)
+    Term.(
+      const run $ spec_arg $ hidden $ load_path $ trials $ jobs $ seed
+      $ greedy_only)
+
+(* --- serve / request: the schedule-serving daemon and its client-side
+   request encoder (see docs/serving.md) --- *)
+
+let serve_cmd =
+  let run hidden load_path workers max_batch max_queue max_wait_ms
+      cache_capacity socket =
+    if max_wait_ms < 0.0 then begin
+      Format.eprintf "--max-wait-ms must be >= 0@.";
+      exit 2
+    end;
+    let engine_cfg =
+      {
+        Serve.Engine.default_config with
+        Serve.Engine.hidden;
+        checkpoint = load_path;
+        cache_capacity;
+      }
+    in
+    let engine =
+      match Serve.Engine.create engine_cfg with
+      | Ok e -> e
+      | Error e ->
+          Format.eprintf "cannot start server: %s@." e;
+          exit 1
+    in
+    let config =
+      {
+        Serve.Server.workers;
+        batcher =
+          {
+            Serve.Batcher.max_queue;
+            max_batch;
+            max_wait_s = max_wait_ms /. 1000.0;
+          };
+      }
+    in
+    let server = Serve.Server.create ~config engine in
+    (* Banner on stderr: stdout carries only protocol lines in stdio
+       mode. *)
+    Format.eprintf
+      "mlir-rl serve: policy %s | workers %d | batch <= %d, wait <= %gms, \
+       queue <= %d | %s@."
+      (Serve.Engine.policy_digest engine)
+      workers max_batch max_wait_ms max_queue
+      (match socket with
+      | Some p -> "unix socket " ^ p
+      | None -> "stdio");
+    match socket with
+    | Some path -> Serve.Frontend.listen_unix server ~path
+    | None ->
+        Serve.Frontend.serve_channels server stdin stdout;
+        Serve.Server.drain server
+  in
+  let hidden =
+    Arg.(value & opt int 64 & info [ "hidden" ] ~doc:"Hidden width used at training")
+  in
+  let load_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "load" ]
+          ~doc:
+            "Weights file written by train --save (default: a fixed-seed \
+             random-init policy, for smoke tests)")
+  in
+  let workers =
+    Arg.(value & opt int 1 & info [ "workers" ] ~doc:"Rollout worker domains")
+  in
+  let max_batch =
+    Arg.(value & opt int 8 & info [ "max-batch" ] ~doc:"Micro-batch size cap")
+  in
+  let max_queue =
+    Arg.(
+      value & opt int 64
+      & info [ "max-queue" ]
+          ~doc:"Admission bound; beyond it requests are answered overloaded")
+  in
+  let max_wait_ms =
+    Arg.(
+      value & opt float 2.0
+      & info [ "max-wait-ms" ]
+          ~doc:"How long an under-full batch may wait for company")
+  in
+  let cache_capacity =
+    Arg.(
+      value & opt int 4096
+      & info [ "cache-capacity" ] ~doc:"Result-cache entries")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ]
+          ~doc:
+            "Serve on a Unix-domain socket at PATH instead of stdin/stdout; \
+             runs until killed")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the batched schedule-serving daemon (line protocol on \
+          stdin/stdout or a Unix socket)")
+    Term.(
+      const run $ hidden $ load_path $ workers $ max_batch $ max_queue
+      $ max_wait_ms $ cache_capacity $ socket)
+
+let request_cmd =
+  let run id spec ir_file stats metrics ping deadline_ms =
+    let fail msg =
+      Format.eprintf "%s@." msg;
+      exit 2
+    in
+    let chosen =
+      List.filter
+        (fun b -> b)
+        [ spec <> None; ir_file <> None; stats; metrics; ping ]
+    in
+    if List.length chosen <> 1 then
+      fail "pick exactly one of --spec, --ir, --stats, --metrics, --ping";
+    let req =
+      if stats then Serve.Protocol.Stats { id }
+      else if metrics then Serve.Protocol.Metrics { id }
+      else if ping then Serve.Protocol.Ping { id }
+      else
+        let target =
+          match (spec, ir_file) with
+          | Some s, _ -> Serve.Protocol.Spec s
+          | None, Some path ->
+              if not (Sys.file_exists path) then
+                fail (Printf.sprintf "no such file: %s" path);
+              let ic = open_in path in
+              let text = really_input_string ic (in_channel_length ic) in
+              close_in ic;
+              Serve.Protocol.Ir text
+          | None, None -> assert false
+        in
+        Serve.Protocol.Optimize { id; target; deadline_ms }
+    in
+    print_endline (Serve.Protocol.encode_request req)
+  in
+  let id = Arg.(value & opt string "r1" & info [ "id" ] ~doc:"Request id") in
+  let spec =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ] ~doc:"Optimize an op spec, e.g. matmul:64x64x64")
+  in
+  let ir_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ir" ] ~doc:"Optimize the loop-nest file at PATH (textual IR)")
+  in
+  let stats =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Ask for server statistics")
+  in
+  let metrics =
+    Arg.(value & flag & info [ "metrics" ] ~doc:"Ask for the Prometheus dump")
+  in
+  let ping = Arg.(value & flag & info [ "ping" ] ~doc:"Liveness probe") in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "deadline-ms" ] ~doc:"Per-request deadline in milliseconds")
+  in
+  Cmd.v
+    (Cmd.info "request"
+       ~doc:
+         "Encode one serve-protocol request line (pipe it into mlir-rl serve)")
+    Term.(
+      const run $ id $ spec $ ir_file $ stats $ metrics $ ping $ deadline_ms)
 
 (* --- analyze: dependence analysis, legality verdicts, lint --- *)
 
@@ -601,5 +793,6 @@ let () =
           ~default
           [
             show_cmd; schedule_cmd; features_cmd; analyze_cmd; autoschedule_cmd;
-            compare_cmd; dataset_cmd; train_cmd; infer_cmd; play_cmd;
+            compare_cmd; dataset_cmd; train_cmd; infer_cmd; serve_cmd;
+            request_cmd; play_cmd;
           ]))

@@ -297,6 +297,54 @@ let act_batch ?(temperature = 1.0) rngs t ~obs ~masks =
         logps.(i),
         Tensor.get2 heads.v_value i 0 ))
 
+(* Batched greedy decoding for the serving path: one forward pass for a
+   slab of concurrently advancing request episodes, argmax per row. The
+   argmax reads the same masked log-softmax values as [act_greedy]'s
+   tape, and every kernel is row-independent, so each row's action is
+   identical to a singleton [act_greedy] call — which is what makes
+   served schedules independent of how requests were batched. *)
+let act_greedy_batch t ~obs ~masks =
+  let cfg = t.cfg in
+  let n = cfg.Env_config.n_max in
+  let m = Env_config.n_tile_choices cfg in
+  let b = Array.length obs in
+  if Array.length masks <> b then
+    invalid_arg "Policy.act_greedy_batch: obs/masks length mismatch";
+  let heads = forward_values t (obs_tensor_of_rows obs) in
+  let t_mask = Array.map (fun ms -> safe_row ms.Action_space.t_mask) masks in
+  let t_lp = Distributions.masked_log_probs_values heads.v_t ~mask:t_mask in
+  let tis = Array.init b (fun i -> Distributions.argmax t_lp i) in
+  let tile_choices = Array.init b (fun _ -> Array.make n 0) in
+  let swap_choices = Array.make b 0 in
+  let branch head pick_mask wanted =
+    if Array.exists (fun ti -> ti = wanted) tis then
+      for l = 0 to n - 1 do
+        let logits = Tensor.slice_cols head ~lo:(l * m) ~hi:((l + 1) * m) in
+        let mask = Array.init b (fun i -> safe_row (pick_mask masks.(i)).(l)) in
+        let lp = Distributions.masked_log_probs_values logits ~mask in
+        for i = 0 to b - 1 do
+          if tis.(i) = wanted then tile_choices.(i).(l) <- Distributions.argmax lp i
+        done
+      done
+  in
+  branch heads.v_tile (fun ms -> ms.Action_space.tile_mask) Action_space.t_tile;
+  branch heads.v_par (fun ms -> ms.Action_space.par_mask)
+    Action_space.t_parallelize;
+  if Array.exists (fun ti -> ti = Action_space.t_interchange) tis then begin
+    let swap_mask = Array.map (fun ms -> safe_row ms.Action_space.swap_mask) masks in
+    let swap_lp = Distributions.masked_log_probs_values heads.v_swap ~mask:swap_mask in
+    for i = 0 to b - 1 do
+      if tis.(i) = Action_space.t_interchange then
+        swap_choices.(i) <- Distributions.argmax swap_lp i
+    done
+  end;
+  Array.init b (fun i ->
+      {
+        Action_space.transform = tis.(i);
+        tile_choices = tile_choices.(i);
+        swap_choice = swap_choices.(i);
+      })
+
 let act_greedy t ~obs ~masks =
   let cfg = t.cfg in
   let n = cfg.Env_config.n_max in

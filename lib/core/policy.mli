@@ -60,6 +60,17 @@ val act_greedy :
   Action_space.hierarchical
 (** Deterministic (argmax) action for evaluation-time inference. *)
 
+val act_greedy_batch :
+  t ->
+  obs:float array array ->
+  masks:Action_space.masks array ->
+  Action_space.hierarchical array
+(** Batched, tape-free {!act_greedy}: one forward pass for a slab of
+    concurrently advancing episodes, argmax per row. Row [i]'s action is
+    identical to a singleton {!act_greedy} call on row [i] — served
+    schedules therefore do not depend on request batching (the serving
+    daemon's determinism contract). *)
+
 val ppo_policy : t -> sample Ppo.policy
 (** The {!Ppo} plug: batch re-evaluation of stored samples. *)
 

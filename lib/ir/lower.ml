@@ -31,3 +31,142 @@ let to_loop_nest (op : Linalg.t) : Loop_nest.t =
     buffers;
     inits;
   }
+
+(* -- raising: canonical nest -> generic op ---------------------------
+
+   The inverse direction exists for one consumer: optimization requests
+   that arrive as textual IR. The request pipeline is
+   parse -> validate -> raise -> (Sched_state.init re-lowers), so only
+   the canonical shape [to_loop_nest] emits needs to be recognized; a
+   nest that already carries schedule artifacts (parallel/vector loops,
+   imperfect bodies) is a request error, not a raising bug. *)
+
+exception Raise_error of string
+
+let raise_fail fmt = Printf.ksprintf (fun s -> raise (Raise_error s)) fmt
+
+let raise_nest (nest : Loop_nest.t) : (Linalg.t, string) result =
+  try
+    (match Loop_nest.validate nest with
+    | Ok () -> ()
+    | Error e -> raise_fail "nest does not validate: %s" e);
+    let n = Loop_nest.n_loops nest in
+    if n = 0 then raise_fail "nest has no loops";
+    Array.iteri
+      (fun i (l : Loop_nest.loop) ->
+        if l.kind <> Loop_nest.Seq then
+          raise_fail
+            "loop %d is not sequential: only canonical (unscheduled) nests \
+             can be raised"
+            i)
+      nest.loops;
+    let out_ref, body_expr =
+      match nest.body with
+      | [ Loop_nest.Store (r, e) ] -> (r, e)
+      | [] -> raise_fail "nest has an empty body"
+      | _ -> raise_fail "nest has more than one store statement"
+    in
+    let shape_of buf =
+      match List.assoc_opt buf nest.buffers with
+      | Some s -> Array.copy s
+      | None -> raise_fail "undeclared buffer %s" buf
+    in
+    let map_of idx = Affine.map_of_exprs n (Array.to_list idx) in
+    let out_map = map_of out_ref.Loop_nest.idx in
+    (* Inputs are deduplicated by (buffer, indexing map): the same
+       buffer read through two different maps is two operands, exactly
+       as [to_loop_nest] would have printed two distinct loads. *)
+    let inputs = ref [] in
+    let n_inputs = ref 0 in
+    let input_index buf idx =
+      let map = map_of idx in
+      let rec find = function
+        | [] ->
+            let i = !n_inputs in
+            incr n_inputs;
+            inputs := !inputs @ [ (buf, map, i) ];
+            i
+        | (b, m, i) :: rest ->
+            if String.equal b buf && Affine.equal_map m map then i
+            else find rest
+      in
+      find !inputs
+    in
+    let uses_output = ref false in
+    let rec raise_expr (e : Loop_nest.sexpr) : Linalg.scalar_expr =
+      match e with
+      | Loop_nest.Const c -> Linalg.Const c
+      | Loop_nest.Binop (b, x, y) ->
+          (* Forced left-to-right so operand numbering follows load
+             appearance order (OCaml evaluates arguments right-to-left). *)
+          let x = raise_expr x in
+          let y = raise_expr y in
+          Linalg.Binop (b, x, y)
+      | Loop_nest.Unop (u, x) -> Linalg.Unop (u, raise_expr x)
+      | Loop_nest.Load { buf; idx } ->
+          if String.equal buf out_ref.Loop_nest.buf then
+            if
+              Array.length idx = Array.length out_ref.Loop_nest.idx
+              && Array.for_all2 Affine.equal_expr idx out_ref.Loop_nest.idx
+            then begin
+              uses_output := true;
+              Linalg.Output
+            end
+            else
+              raise_fail
+                "load of the output buffer %s at a subscript different from \
+                 the store's (stencil-style accumulators cannot be raised)"
+                buf
+          else Linalg.Input (input_index buf idx)
+    in
+    let body = raise_expr body_expr in
+    let domain = Loop_nest.trip_counts nest in
+    let iter_kinds =
+      Array.init n (fun d ->
+          if Affine.uses_dim out_map d then Linalg.Parallel_iter
+          else Linalg.Reduction_iter)
+    in
+    let has_reduction =
+      !uses_output
+      || Array.exists (fun k -> k = Linalg.Reduction_iter) iter_kinds
+    in
+    List.iter
+      (fun (buf, _) ->
+        if not (String.equal buf out_ref.Loop_nest.buf) then
+          raise_fail
+            "input buffer %s carries an init, which a structured op cannot \
+             express"
+            buf)
+      nest.inits;
+    let init = List.assoc_opt out_ref.Loop_nest.buf nest.inits in
+    if has_reduction && init = None then
+      raise_fail
+        "nest reduces into %s but declares no init for it"
+        out_ref.Loop_nest.buf;
+    let operands =
+      List.map
+        (fun (buf, map, _) -> { Linalg.name = buf; shape = shape_of buf; map })
+        !inputs
+    in
+    let output =
+      {
+        Linalg.name = out_ref.Loop_nest.buf;
+        shape = shape_of out_ref.Loop_nest.buf;
+        map = out_map;
+      }
+    in
+    let op =
+      match init with
+      | Some v when has_reduction ->
+          Linalg.generic ~name:nest.Loop_nest.name ~domain ~iter_kinds
+            ~inputs:operands ~output ~body ~init:v ()
+      | _ ->
+          (* An init on a pure elementwise op is redundant (every output
+             point is overwritten), so it is dropped rather than refused. *)
+          Linalg.generic ~name:nest.Loop_nest.name ~domain ~iter_kinds
+            ~inputs:operands ~output ~body ()
+    in
+    Ok op
+  with
+  | Raise_error msg -> Error msg
+  | Invalid_argument msg | Failure msg -> Error msg

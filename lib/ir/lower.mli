@@ -9,3 +9,20 @@ val to_loop_nest : Linalg.t -> Loop_nest.t
 (** Lower an op to its canonical (untransformed) loop nest. The resulting
     nest validates, all loops are sequential, and running it through the
     interpreter computes exactly {!Linalg.execute_reference}. *)
+
+val raise_nest : Loop_nest.t -> (Linalg.t, string) result
+(** Partial inverse of {!to_loop_nest}: recover a structured (generic)
+    op from a canonical nest — the entry point that lets textual-IR
+    requests drive the environment (the serving daemon parses incoming
+    IR with {!Ir_parser} and raises it here). Accepts exactly the
+    canonical shape lowering produces: a validating perfect band of
+    sequential loops around a single store whose operands are affine
+    loads. Loads of the output buffer at the store's own subscripts
+    become the reduction accumulator; iteration dims the store does not
+    use become reduction dims (which then require an [init] on the
+    output buffer). Distinct (buffer, indexing-map) pairs become
+    distinct inputs. Anything else — multiple stores, already-scheduled
+    (parallel/vector) loops, inits on input buffers, accumulator loads
+    at shifted subscripts — is rejected with a message. The raised op
+    satisfies [raise(lower(op)) ≡ op] up to operand numbering, and
+    [lower(raise(nest))] reproduces [nest]'s semantics. *)

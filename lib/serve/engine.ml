@@ -1,0 +1,209 @@
+type config = {
+  env_cfg : Env_config.t;
+  hidden : int;
+  checkpoint : string option;
+  cache_capacity : int;
+}
+
+let default_config =
+  {
+    env_cfg = Env_config.default;
+    hidden = 64;
+    checkpoint = None;
+    cache_capacity = 4096;
+  }
+
+type outcome = { schedule : string; speedup : float }
+
+type t = {
+  cfg : config;
+  policy : Policy.t;
+  base_env : Env.t;
+  cache : (string, outcome) Util.Sharded_cache.t;
+  digest : string;
+}
+
+(* The digest is over the canonical serialized weights, not the
+   checkpoint file: a random-init policy gets a digest too, and two
+   checkpoints with identical weights share one. *)
+let digest_params params =
+  let path = Filename.temp_file "mrs_policy" ".ckpt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Serialize.save_params path params;
+      Digest.to_hex (Digest.file path))
+
+let create cfg =
+  match Env_config.validate cfg.env_cfg with
+  | Error e -> Error ("bad env config: " ^ e)
+  | Ok () -> (
+      let policy =
+        Policy.create ~hidden:cfg.hidden (Util.Rng.create 0x51) cfg.env_cfg
+      in
+      let load_result =
+        match cfg.checkpoint with
+        | None -> Ok ()
+        | Some path -> Policy.load policy path
+      in
+      match load_result with
+      | Error e -> Error ("checkpoint load failed: " ^ e)
+      | Ok () ->
+          let base_env = Env.create cfg.env_cfg in
+          let cache =
+            Util.Sharded_cache.create ~capacity:cfg.cache_capacity ()
+          in
+          let digest = digest_params (Policy.params policy) in
+          Ok { cfg; policy; base_env; cache; digest })
+
+let policy_digest t = t.digest
+
+let check_bounds (cfg : Env_config.t) (op : Linalg.t) =
+  let n = Array.length op.Linalg.domain in
+  let l = Array.length op.Linalg.inputs in
+  let rank_bad =
+    Array.exists
+      (fun (o : Linalg.operand) -> Array.length o.Linalg.shape > cfg.d_max)
+      op.Linalg.inputs
+    || Array.length op.Linalg.output.Linalg.shape > cfg.d_max
+  in
+  if n = 0 || n > cfg.n_max then
+    Error
+      (Printf.sprintf "op has %d loops; this server handles 1..%d" n cfg.n_max)
+  else if l > cfg.l_max then
+    Error
+      (Printf.sprintf "op has %d inputs; this server handles at most %d" l
+         cfg.l_max)
+  else if rank_bad then
+    Error
+      (Printf.sprintf "an operand exceeds the server's max rank %d" cfg.d_max)
+  else Ok ()
+
+let resolve_target t (target : Protocol.target) =
+  let op_result =
+    match target with
+    | Protocol.Spec s -> (
+        match Op_spec.parse s with
+        | Ok op -> Ok op
+        | Error e -> Error (Protocol.Parse_error, "bad op spec: " ^ e))
+    | Protocol.Ir s -> (
+        match Ir_parser.parse_result s with
+        | Error e -> Error (Protocol.Parse_error, "bad IR: " ^ e)
+        | Ok nest -> (
+            match Lower.raise_nest nest with
+            | Ok op -> Ok op
+            | Error e ->
+                Error (Protocol.Unsupported, "nest cannot be raised: " ^ e)))
+  in
+  match op_result with
+  | Error _ as e -> e
+  | Ok op -> (
+      match check_bounds (Env.config t.base_env) op with
+      | Ok () -> Ok op
+      | Error e -> Error (Protocol.Unsupported, e))
+
+let cache_key _t op =
+  Digest.to_hex (Digest.string (Ir_printer.to_string (Lower.to_loop_nest op)))
+
+(* One lockstep batched rollout: every active episode contributes a row
+   to a single greedy forward pass per step. act_greedy_batch is
+   row-independent, so this computes exactly what per-op greedy_rollout
+   calls would — just with the inference amortized. *)
+let rollout_batch t (ops : Linalg.t array) :
+    (outcome, Protocol.error_code * string) result array =
+  let n = Array.length ops in
+  let envs = Array.map (fun _ -> Env.fork t.base_env) ops in
+  let results = Array.make n (Error (Protocol.Env_failure, "not computed")) in
+  let obs = Array.make n [||] in
+  let active = Array.make n false in
+  Array.iteri
+    (fun i op ->
+      try
+        obs.(i) <- Env.reset envs.(i) op;
+        active.(i) <- true
+      with e ->
+        results.(i) <-
+          Error (Protocol.Env_failure, "reset failed: " ^ Printexc.to_string e))
+    ops;
+  let any_active () = Array.exists Fun.id active in
+  while any_active () do
+    let idxs =
+      Array.of_list
+        (List.filter (fun i -> active.(i)) (List.init n Fun.id))
+    in
+    let batch_obs = Array.map (fun i -> obs.(i)) idxs in
+    let batch_masks = Array.map (fun i -> Env.masks envs.(i)) idxs in
+    let actions =
+      Policy.act_greedy_batch t.policy ~obs:batch_obs ~masks:batch_masks
+    in
+    Array.iteri
+      (fun k i ->
+        try
+          let r = Env.step_hierarchical envs.(i) actions.(k) in
+          obs.(i) <- r.Env.obs;
+          if r.Env.terminal then begin
+            active.(i) <- false;
+            results.(i) <-
+              Ok
+                {
+                  schedule = Schedule.to_string (Env.schedule envs.(i));
+                  speedup = Env.current_speedup envs.(i);
+                }
+          end
+        with e ->
+          active.(i) <- false;
+          results.(i) <-
+            Error
+              (Protocol.Env_failure, "step failed: " ^ Printexc.to_string e))
+      idxs
+  done;
+  results
+
+let solve_batch t ops =
+  let n = Array.length ops in
+  let keys = Array.map (cache_key t) ops in
+  let results = Array.make n (Error (Protocol.Env_failure, "not computed")) in
+  let miss_idx = ref [] in
+  for i = n - 1 downto 0 do
+    match Util.Sharded_cache.find_opt t.cache keys.(i) with
+    | Some outcome -> results.(i) <- Ok outcome
+    | None -> miss_idx := i :: !miss_idx
+  done;
+  (* Requests for the same op inside one batch roll out once. *)
+  let seen = Hashtbl.create 8 in
+  let unique =
+    List.filter
+      (fun i ->
+        if Hashtbl.mem seen keys.(i) then false
+        else begin
+          Hashtbl.replace seen keys.(i) i;
+          true
+        end)
+      !miss_idx
+  in
+  if unique <> [] then begin
+    let unique = Array.of_list unique in
+    let computed = rollout_batch t (Array.map (fun i -> ops.(i)) unique) in
+    Array.iteri
+      (fun k i ->
+        (match computed.(k) with
+        | Ok outcome -> Util.Sharded_cache.add t.cache keys.(i) outcome
+        | Error _ -> ());
+        results.(i) <- computed.(k))
+      unique;
+    List.iter
+      (fun i ->
+        match results.(i) with
+        | Ok _ -> ()
+        | Error _ ->
+            let owner = Hashtbl.find seen keys.(i) in
+            if owner <> i then results.(i) <- results.(owner))
+      !miss_idx
+  end;
+  results
+
+let cache_stats t = Util.Sharded_cache.stats t.cache
+
+let cache_hits t = (cache_stats t).Util.Sharded_cache.hits
+
+let cache_misses t = (cache_stats t).Util.Sharded_cache.misses

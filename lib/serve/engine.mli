@@ -1,0 +1,67 @@
+(** The compute core of [lib/serve]: target resolution, result caching
+    and batched greedy rollouts. Transport-free and thread-compatible —
+    {!Server} calls {!solve_batch} from worker domains; callers on
+    different domains must use disjoint calls (the shared pieces, the
+    policy weights (read-only at inference) and the {!Util.Sharded_cache},
+    are domain-safe).
+
+    Determinism contract: the policy decodes greedily
+    ({!Policy.act_greedy_batch}, row-independent), the evaluator is
+    noiseless, and the cache stores exactly what the rollout computed —
+    so one engine answers identical requests with identical schedules
+    and speedups, however they are batched, whether or not they hit the
+    cache. *)
+
+type t
+
+type config = {
+  env_cfg : Env_config.t;
+  hidden : int;  (** policy width; see {!Policy.create} *)
+  checkpoint : string option;
+      (** weights to serve ({!Serialize} format); [None] serves a
+          seed-0x51-initialized policy — useful for smoke tests *)
+  cache_capacity : int;  (** result-cache bound (entries) *)
+}
+
+val default_config : config
+(** [Env_config.default], hidden 64, no checkpoint, capacity 4096. *)
+
+type outcome = {
+  schedule : string;  (** printable {!Schedule} notation *)
+  speedup : float;
+}
+
+val create : config -> (t, string) result
+(** Build the policy (loading [checkpoint] if given), the base
+    environment and the result cache. [Error] on an unreadable or
+    mismatched checkpoint. *)
+
+val policy_digest : t -> string
+(** Hex digest of the served weights (canonical serialized form), the
+    checkpoint fingerprint every [ok] reply carries. Computed once at
+    {!create}. *)
+
+val resolve_target :
+  t -> Protocol.target -> (Linalg.t, Protocol.error_code * string) result
+(** [Spec] strings go through {!Op_spec.parse}; [Ir] payloads through
+    {!Ir_parser.parse_result} then {!Lower.raise_nest}. Parse failures
+    map to [Parse_error]; raisable-but-unservable ops (raise failure, or
+    loop/operand/rank counts beyond the policy's N/L/D bounds) map to
+    [Unsupported]. Never raises. *)
+
+val cache_key : t -> Linalg.t -> string
+(** Digest of the op's canonical lowered nest — the full semantics, not
+    just name and shape, so two different bodies never collide. *)
+
+val solve_batch :
+  t -> Linalg.t array -> (outcome, Protocol.error_code * string) result array
+(** Optimize a slab of ops: cache hits answered immediately, misses run
+    as one lockstep batched greedy rollout (one forward pass per step
+    across all still-active episodes) and are cached. Per-op failures
+    come back as [Env_failure] entries; the other ops still succeed. *)
+
+val cache_stats : t -> Util.Sharded_cache.stats
+
+val cache_hits : t -> int
+
+val cache_misses : t -> int

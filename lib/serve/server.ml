@@ -1,0 +1,265 @@
+type config = { workers : int; batcher : Batcher.config }
+
+let default_config = { workers = 1; batcher = Batcher.default_config }
+
+(* One admitted optimize request: resolved op, reply callback, and the
+   submit timestamp for the latency histogram. *)
+type job = {
+  j_id : string;
+  op : Linalg.t;
+  reply : Protocol.response -> unit;
+  submitted_at : float;
+}
+
+type state = Running | Draining | Drained
+
+type t = {
+  engine : Engine.t;
+  cfg : config;
+  pool : Util.Domain_pool.t;
+  metrics : Metrics.t;
+  mutex : Mutex.t;
+  cond : Condition.t;
+  batcher : job Batcher.t;
+  mutable state : state;
+  mutable in_flight : int;  (** batches currently on the pool *)
+  mutable dispatcher : unit Domain.t option;
+  mutable drain_done : bool;  (** set once by the draining caller *)
+}
+
+let now () = Unix.gettimeofday ()
+
+let metrics t = t.metrics
+
+(* -- reply helpers ---------------------------------------------------- *)
+
+let code_counter code =
+  "serve_replies_" ^ Protocol.error_code_to_string code ^ "_total"
+
+let reply_error t job code message =
+  Metrics.incr t.metrics (code_counter code);
+  Metrics.observe t.metrics "serve_latency_seconds" (now () -. job.submitted_at);
+  job.reply (Protocol.Error_reply { e_id = job.j_id; code; message })
+
+let reply_ok t job (o : Engine.outcome) =
+  Metrics.incr t.metrics "serve_replies_ok_total";
+  Metrics.observe t.metrics "serve_latency_seconds" (now () -. job.submitted_at);
+  job.reply
+    (Protocol.Ok_reply
+       {
+         r_id = job.j_id;
+         schedule = o.Engine.schedule;
+         speedup = o.Engine.speedup;
+         policy_digest = Engine.policy_digest t.engine;
+       })
+
+(* -- worker side ------------------------------------------------------ *)
+
+let run_batch t (items : job Batcher.item list) =
+  let jobs = Array.of_list (List.map (fun it -> it.Batcher.payload) items) in
+  let t0 = now () in
+  List.iter
+    (fun (it : job Batcher.item) ->
+      Metrics.observe t.metrics "serve_queue_wait_seconds"
+        (t0 -. it.Batcher.enqueued_at))
+    items;
+  Metrics.observe t.metrics "serve_batch_size" (float_of_int (Array.length jobs));
+  let results =
+    try Engine.solve_batch t.engine (Array.map (fun j -> j.op) jobs)
+    with e ->
+      Array.map
+        (fun _ ->
+          Error (Protocol.Env_failure, "batch failed: " ^ Printexc.to_string e))
+        jobs
+  in
+  Array.iteri
+    (fun i job ->
+      match results.(i) with
+      | Ok outcome -> reply_ok t job outcome
+      | Error (code, msg) -> reply_error t job code msg)
+    jobs
+
+(* -- dispatcher ------------------------------------------------------- *)
+
+(* The stdlib has no timed condition wait, so the dispatcher waits on
+   the condition when there is nothing scheduled and sleep-polls in
+   sub-millisecond slices when a flush or deadline lies in the future.
+   Slices are bounded by the event distance, so a flush timer of
+   max_wait_ms fires within ~max_wait_ms + 1ms. *)
+let dispatcher_loop t =
+  let finished = ref false in
+  while not !finished do
+    Mutex.lock t.mutex;
+    let tnow = now () in
+    let expired = Batcher.pop_expired t.batcher ~now:tnow in
+    let batch =
+      if t.in_flight < t.cfg.workers then begin
+        let force = t.state <> Running in
+        let b = Batcher.take_batch ~force t.batcher ~now:tnow in
+        if b <> [] then t.in_flight <- t.in_flight + 1;
+        b
+      end
+      else []
+    in
+    let drained_now =
+      t.state = Draining && Batcher.length t.batcher = 0 && t.in_flight = 0
+      && batch = [] && expired = []
+    in
+    if drained_now then t.state <- Drained;
+    (* Decide how to wait before releasing the lock. Every state change
+       that could unblock us (admission, drain, a worker slot freeing)
+       broadcasts the condition, so blocking is safe whenever no timed
+       event is pending. With all workers busy the flush timer cannot
+       fire anyway, so only request deadlines force timed wakeups. *)
+    let wait_plan =
+      if drained_now || batch <> [] || expired <> [] then `Continue
+      else if t.in_flight >= t.cfg.workers then
+        match Batcher.next_expiry_in t.batcher ~now:tnow with
+        | None -> `Block
+        | Some s when s <= 0.0 -> `Continue
+        | Some s -> `Sleep s
+      else
+        match Batcher.next_deadline_in t.batcher ~now:tnow with
+        | None -> `Block (* empty queue *)
+        | Some s when s <= 0.0 -> `Continue
+        | Some s -> `Sleep s
+    in
+    (match wait_plan with
+    | `Block -> Condition.wait t.cond t.mutex
+    | `Continue | `Sleep _ -> ());
+    Mutex.unlock t.mutex;
+    List.iter
+      (fun (it : job Batcher.item) ->
+        Metrics.incr t.metrics "serve_expired_total";
+        reply_error t it.Batcher.payload Protocol.Deadline_exceeded
+          "deadline expired while queued")
+      expired;
+    if batch <> [] then begin
+      let _p =
+        Util.Domain_pool.submit t.pool (fun () ->
+            Fun.protect
+              ~finally:(fun () ->
+                Mutex.lock t.mutex;
+                t.in_flight <- t.in_flight - 1;
+                Condition.broadcast t.cond;
+                Mutex.unlock t.mutex)
+              (fun () -> run_batch t batch))
+      in
+      ()
+    end;
+    (match wait_plan with
+    | `Sleep s ->
+        (* in_flight completions only matter once the timer fires, so a
+           plain bounded sleep (no condition) is enough here. *)
+        Unix.sleepf (Float.min s 0.001 |> Float.max 0.0002)
+    | `Block | `Continue -> ());
+    if drained_now then begin
+      Mutex.lock t.mutex;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex;
+      finished := true
+    end
+  done
+
+let create ?(config = default_config) engine =
+  if config.workers < 1 then invalid_arg "Server.create: workers < 1";
+  let t =
+    {
+      engine;
+      cfg = config;
+      pool = Util.Domain_pool.create ~size:config.workers;
+      metrics = Metrics.create ();
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      batcher = Batcher.create config.batcher;
+      state = Running;
+      in_flight = 0;
+      dispatcher = None;
+      drain_done = false;
+    }
+  in
+  t.dispatcher <- Some (Domain.spawn (fun () -> dispatcher_loop t));
+  t
+
+let stats_body t =
+  let cache = Engine.cache_stats t.engine in
+  let extra =
+    Printf.sprintf
+      "state=%s queue=%d in_flight=%d admitted=%d shed=%d expired=%d \
+       cache_hits=%d cache_misses=%d cache_size=%d"
+      (match t.state with
+      | Running -> "running"
+      | Draining -> "draining"
+      | Drained -> "drained")
+      (Batcher.length t.batcher) t.in_flight
+      (Batcher.admitted_total t.batcher)
+      (Batcher.shed_total t.batcher)
+      (Batcher.expired_total t.batcher)
+      cache.Util.Sharded_cache.hits cache.Util.Sharded_cache.misses
+      cache.Util.Sharded_cache.size
+  in
+  extra ^ " " ^ Metrics.stats_line t.metrics
+
+let submit t (req : Protocol.request) reply =
+  Metrics.incr t.metrics "serve_requests_total";
+  match req with
+  | Protocol.Ping { id } -> reply (Protocol.Pong { p_id = id })
+  | Protocol.Stats { id } ->
+      reply (Protocol.Stats_reply { s_id = id; body = stats_body t })
+  | Protocol.Metrics { id } ->
+      reply (Protocol.Metrics_reply { m_id = id; body = Metrics.render t.metrics })
+  | Protocol.Optimize { id; target; deadline_ms } -> (
+      let submitted_at = now () in
+      match Engine.resolve_target t.engine target with
+      | Error (code, msg) ->
+          Metrics.incr t.metrics (code_counter code);
+          reply (Protocol.Error_reply { e_id = id; code; message = msg })
+      | Ok op -> (
+          let job = { j_id = id; op; reply; submitted_at } in
+          Mutex.lock t.mutex;
+          let verdict =
+            if t.state <> Running then `Shutting_down
+            else
+              match
+                Batcher.admit t.batcher ~now:submitted_at ?deadline_ms job
+              with
+              | Batcher.Admitted ->
+                  Condition.broadcast t.cond;
+                  `Admitted
+              | Batcher.Shed -> `Shed
+          in
+          Mutex.unlock t.mutex;
+          match verdict with
+          | `Admitted -> ()
+          | `Shed ->
+              Metrics.incr t.metrics "serve_shed_total";
+              reply_error t job Protocol.Overloaded "admission queue full"
+          | `Shutting_down ->
+              reply_error t job Protocol.Shutting_down "server is draining"))
+
+let drain t =
+  Mutex.lock t.mutex;
+  match t.state with
+  | Draining | Drained ->
+      (* Another caller is (or was) draining; wait for it to finish. *)
+      while not t.drain_done do
+        Condition.wait t.cond t.mutex
+      done;
+      Mutex.unlock t.mutex
+  | Running ->
+      t.state <- Draining;
+      Condition.broadcast t.cond;
+      while t.state <> Drained do
+        Condition.wait t.cond t.mutex
+      done;
+      Mutex.unlock t.mutex;
+      (match t.dispatcher with
+      | Some d ->
+          (try Domain.join d with _ -> ());
+          t.dispatcher <- None
+      | None -> ());
+      Util.Domain_pool.shutdown t.pool;
+      Mutex.lock t.mutex;
+      t.drain_done <- true;
+      Condition.broadcast t.cond;
+      Mutex.unlock t.mutex

@@ -8,9 +8,10 @@ type 'a promise = {
 
 type t = {
   mutex : Mutex.t;
-  cond : Condition.t;  (* work available, or the pool is closing *)
+  cond : Condition.t;  (* work available, the pool is closing, or joined *)
   queue : (unit -> unit) Queue.t;
   mutable closing : bool;
+  mutable joined : bool;
   mutable domains : unit Domain.t array;
 }
 
@@ -24,8 +25,12 @@ let rec worker_loop pool =
     let job = Queue.pop pool.queue in
     Mutex.unlock pool.mutex;
     (* [job] never raises: submit wraps the task so the exception is
-       stored in the promise and rethrown by [await] on the caller. *)
-    job ();
+       stored in the promise and rethrown by [await] on the caller. The
+       catch-all is belt and braces for asynchronous exceptions landing
+       between the task and the promise update — a worker domain must
+       never die abnormally, or [shutdown]'s join would re-raise and
+       wedge the remaining drain. *)
+    (try job () with _ -> ());
     worker_loop pool
   end
 
@@ -37,6 +42,7 @@ let create ~size =
       cond = Condition.create ();
       queue = Queue.create ();
       closing = false;
+      joined = false;
       domains = [||];
     }
   in
@@ -82,13 +88,30 @@ let await p =
   in
   wait ()
 
+(* Shutdown is idempotent and safe to race: exactly one caller joins the
+   workers; every other caller (concurrent or later) blocks until that
+   join has completed, so "shutdown returned" always means "all workers
+   are gone". Queued tasks are drained first — including tasks whose
+   function raises, because the exception lives in the promise, not the
+   worker (see worker_loop). Never raises. *)
 let shutdown t =
   Mutex.lock t.mutex;
-  let already = t.closing in
-  t.closing <- true;
-  Condition.broadcast t.cond;
-  Mutex.unlock t.mutex;
-  if not already then Array.iter Domain.join t.domains
+  if t.closing then begin
+    while not t.joined do
+      Condition.wait t.cond t.mutex
+    done;
+    Mutex.unlock t.mutex
+  end
+  else begin
+    t.closing <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex;
+    Array.iter (fun d -> try Domain.join d with _ -> ()) t.domains;
+    Mutex.lock t.mutex;
+    t.joined <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex
+  end
 
 let map_array t f xs =
   let promises = Array.map (fun x -> submit t (fun () -> f x)) xs in

@@ -38,5 +38,10 @@ val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
     all, preserving order. *)
 
 val shutdown : t -> unit
-(** Graceful shutdown: lets already-queued tasks finish, then joins all
-    worker domains. Idempotent. Submitting after shutdown raises. *)
+(** Graceful shutdown: lets already-queued tasks finish (including tasks
+    whose function raises — the exception is stored in the promise, so a
+    failing task cannot wedge the drain), then joins all worker domains.
+    Idempotent and safe to call from several domains at once: exactly
+    one caller performs the join, the others block until it completes,
+    so on return the workers are always gone. Never raises. Submitting
+    after shutdown raises [Invalid_argument]. *)

@@ -260,6 +260,36 @@ let test_pool_shutdown_idempotent () =
     (Invalid_argument "Domain_pool.submit: pool is shut down") (fun () ->
       ignore (Util.Domain_pool.submit pool (fun () -> 0)))
 
+let test_pool_concurrent_shutdown () =
+  (* Several domains race shutdown: exactly one joins the workers, the
+     rest must block until the join completes, and every caller must
+     return with the workers gone. *)
+  let pool = Util.Domain_pool.create ~size:2 in
+  let p = Util.Domain_pool.submit pool (fun () -> 7 * 6) in
+  Alcotest.(check int) "task before the race" 42 (Util.Domain_pool.await p);
+  let racers =
+    Array.init 3 (fun _ -> Domain.spawn (fun () -> Util.Domain_pool.shutdown pool))
+  in
+  Util.Domain_pool.shutdown pool;
+  Array.iter Domain.join racers;
+  Alcotest.check_raises "pool closed after the race"
+    (Invalid_argument "Domain_pool.submit: pool is shut down") (fun () ->
+      ignore (Util.Domain_pool.submit pool (fun () -> 0)))
+
+let test_pool_survives_raising_tasks () =
+  (* A task that raises must not take its worker down: with one worker,
+     a later task can only run if the worker survived. *)
+  let pool = Util.Domain_pool.create ~size:1 in
+  Fun.protect
+    ~finally:(fun () -> Util.Domain_pool.shutdown pool)
+    (fun () ->
+      let bad = Util.Domain_pool.submit pool (fun () -> failwith "kaboom") in
+      Alcotest.check_raises "exception surfaced at await" (Failure "kaboom")
+        (fun () -> ignore (Util.Domain_pool.await bad));
+      let good = Util.Domain_pool.submit pool (fun () -> "alive") in
+      Alcotest.(check string) "worker survived the raising task" "alive"
+        (Util.Domain_pool.await good))
+
 let suite =
   [
     Alcotest.test_case "derive is pure" `Quick test_derive_pure;
@@ -279,4 +309,8 @@ let suite =
       test_pool_exception_propagates;
     Alcotest.test_case "pool shutdown idempotent" `Quick
       test_pool_shutdown_idempotent;
+    Alcotest.test_case "pool shutdown races are safe" `Quick
+      test_pool_concurrent_shutdown;
+    Alcotest.test_case "pool survives raising tasks" `Quick
+      test_pool_survives_raising_tasks;
   ]
