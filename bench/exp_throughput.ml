@@ -83,12 +83,22 @@ let training_throughput c ~iterations =
       in
       Printf.printf "%6d %12.2f %14d %14.1f  %s%s%s\n" jobs wall episodes rate
         (String.sub digest 0 12) same speedup;
-      if jobs = 4 then
+      if jobs = 4 then begin
+        let base = cache.Evaluator.base in
         Bench_common.note
           "base cache: %d hits, %d misses, %d evictions (%d live / %d cap, %d shards)\n"
-          cache.Util.Sharded_cache.hits cache.Util.Sharded_cache.misses
-          cache.Util.Sharded_cache.evictions cache.Util.Sharded_cache.size
-          cache.Util.Sharded_cache.capacity cache.Util.Sharded_cache.shards)
+          base.Util.Sharded_cache.hits base.Util.Sharded_cache.misses
+          base.Util.Sharded_cache.evictions base.Util.Sharded_cache.size
+          base.Util.Sharded_cache.capacity base.Util.Sharded_cache.shards;
+        match cache.Evaluator.state with
+        | None -> ()
+        | Some st ->
+            Bench_common.note
+              "state cache: %d hits, %d misses, %d evictions (%d live / %d cap)\n"
+              st.Util.Sharded_cache.hits st.Util.Sharded_cache.misses
+              st.Util.Sharded_cache.evictions st.Util.Sharded_cache.size
+              st.Util.Sharded_cache.capacity
+      end)
     [ 1; 2; 4 ]
 
 let inference_batching c ~rounds =

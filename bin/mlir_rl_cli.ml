@@ -119,7 +119,9 @@ let autoschedule_cmd =
     let base = Evaluator.base_seconds ev op in
     Format.printf "time     : %.6f s (base %.6f s)@."
       (base /. r.Auto_scheduler.best_speedup)
-      base
+      base;
+    Format.printf "caches   : %s@."
+      (Evaluator.render_cache_stats (Evaluator.cache_stats ev))
   in
   let budget_arg =
     Arg.(value & opt int 3000 & info [ "budget" ] ~doc:"Exploration budget")
@@ -307,6 +309,12 @@ let train_cmd =
           (Robust_evaluator.retry_count r)
           (Robust_evaluator.degraded_count r)
     | None -> ());
+    (* Cache counters go to stderr: under --jobs > 1 speculative
+       episodes make hit/miss splits scheduling-dependent (the cached
+       values are pure, so the training results stay byte-identical),
+       and stdout must stay byte-identical across --jobs values. *)
+    Format.eprintf "evaluator caches: %s@."
+      (Evaluator.render_cache_stats (Evaluator.cache_stats evaluator));
     Format.printf "@.greedy schedules:@.";
     Array.iteri
       (fun i op ->

@@ -211,21 +211,166 @@ let candidates config (op : Linalg.t) : Schedule.t Seq.t =
     [ Schedule.Vectorize ]
     (Seq.concat_map (space_candidates config) (List.to_seq (spaces config op)))
 
-let search ?(config = default_config) evaluator op =
+(* Seeded from the full op digest (name, dims, iter kinds), not just
+   op_name: two same-named ops with different shapes must not share a
+   sampling stream — their spaces differ, and a shared stream made the
+   "without replacement" budget behave differently per shape for no
+   reason. Pinned by a determinism test. *)
+let sampling_seed (op : Linalg.t) = Hashtbl.hash (Linalg.digest op)
+
+(* Prefix-sharing enumeration of the exhaustive candidate stream: a DFS
+   over the (prefix; parallelize; tile; swap; vectorize) decision trie
+   that applies each transformation once per distinct trie node instead
+   of replaying the whole schedule per leaf ([Sched_state.apply_all],
+   which re-applies the shared prefix for every candidate containing
+   it). [eval] receives the exact schedule [candidates] would have
+   produced together with its fully applied terminal state.
+
+   Bit-identity with mapping [apply_all] over [candidates] (the
+   differential property tests assert it): leaves are visited in the
+   same order; applying the same transformations in the same order from
+   [init] yields the same states ([apply] is deterministic, and
+   [apply_all] is its fold); and a transformation that fails at depth k
+   fails identically inside every naive candidate sharing that prefix,
+   so pruning the subtree skips exactly the candidates the naive loop
+   would have skipped — explored counts, traces and the evaluator's
+   jitter stream line up. *)
+let iter_candidates_shared config op
+    ~(eval : Schedule.t -> Sched_state.t -> unit) =
+  let root = Sched_state.init op in
+  (match Sched_state.apply root Schedule.Vectorize with
+  | Ok final -> eval [ Schedule.Vectorize ] final
+  | Error _ -> ());
+  List.iter
+    (fun (space : domain_space) ->
+      let prefixed =
+        List.fold_left
+          (fun acc tr -> Result.bind acc (fun s -> Sched_state.apply s tr))
+          (Ok root) space.prefix
+      in
+      match prefixed with
+      | Error _ -> ()
+      | Ok pre ->
+          let n = Array.length space.trips in
+          let par_combos : int array option Seq.t =
+            let slot_opts = List.map snd space.par_slots in
+            Seq.cons None
+              (Seq.filter_map
+                 (fun combo ->
+                   if count_nonzero combo = 0 then None
+                   else begin
+                     let sizes = Array.make n 0 in
+                     List.iteri
+                       (fun k size ->
+                         sizes.(fst (List.nth space.par_slots k)) <- size)
+                       combo;
+                     Some (Some sizes)
+                   end)
+                 (product slot_opts))
+          in
+          Seq.iter
+            (fun par_opt ->
+              let after_par =
+                match par_opt with
+                | Some sizes when count_nonzero (Array.to_list sizes) > 0 -> (
+                    match
+                      Sched_state.apply pre (Schedule.Parallelize sizes)
+                    with
+                    | Ok s -> Some s
+                    | Error _ -> None)
+                | Some _ | None -> Some pre
+              in
+              match after_par with
+              | None -> ()
+              | Some after_par ->
+                  let effective =
+                    match par_opt with
+                    | None -> space.trips
+                    | Some sizes ->
+                        Array.mapi
+                          (fun l s -> if s > 0 then s else space.trips.(l))
+                          sizes
+                  in
+                  let par_count =
+                    match par_opt with
+                    | None -> 0
+                    | Some sizes -> count_nonzero (Array.to_list sizes)
+                  in
+                  let tile_opts =
+                    Array.to_list
+                      (Array.map (fun trip -> loop_options config trip) effective)
+                  in
+                  Seq.iter
+                    (fun tile_combo ->
+                      if
+                        par_count + count_nonzero tile_combo
+                        < config.min_tiled_loops
+                      then ()
+                      else begin
+                        let tile_arr = Array.of_list tile_combo in
+                        let after_tile =
+                          if count_nonzero tile_combo > 0 then
+                            match
+                              Sched_state.apply after_par (Schedule.Tile tile_arr)
+                            with
+                            | Ok s -> Some s
+                            | Error _ -> None
+                          else Some after_par
+                        in
+                        match after_tile with
+                        | None -> ()
+                        | Some after_tile ->
+                            List.iter
+                              (fun swap_opt ->
+                                let after_swap =
+                                  match swap_opt with
+                                  | None -> Some after_tile
+                                  | Some i -> (
+                                      match
+                                        Sched_state.apply after_tile
+                                          (Schedule.Swap i)
+                                      with
+                                      | Ok s -> Some s
+                                      | Error _ -> None)
+                                in
+                                match after_swap with
+                                | None -> ()
+                                | Some st -> (
+                                    match
+                                      Sched_state.apply st Schedule.Vectorize
+                                    with
+                                    | Error _ -> ()
+                                    | Ok final ->
+                                        eval
+                                          (assemble ~prefix:space.prefix
+                                             ~par_opt ~tile_combo:tile_arr
+                                             ~swap_opt)
+                                          final))
+                              space.swap_opts
+                      end)
+                    (product tile_opts))
+            par_combos)
+    (spaces config op)
+
+(* The shared skeleton of [search]/[search_naive]: bookkeeping plus the
+   budgeted sampling fallback; only the exhaustive branch differs. *)
+let search_with ~exhaustive ?(config = default_config) evaluator op =
   let best_schedule = ref [ Schedule.Vectorize ] in
   let best_speedup = ref 0.0 in
   let explored = ref 0 in
   let trace = ref [] in
+  let record sched speedup =
+    incr explored;
+    if speedup > !best_speedup then begin
+      best_speedup := speedup;
+      best_schedule := sched
+    end;
+    trace := (!explored, !best_speedup) :: !trace
+  in
   let evaluate sched =
     match Evaluator.schedule_speedup evaluator op sched with
     | Error _ -> ()
-    | Ok speedup ->
-        incr explored;
-        if speedup > !best_speedup then begin
-          best_speedup := speedup;
-          best_schedule := sched
-        end;
-        trace := (!explored, !best_speedup) :: !trace
+    | Ok speedup -> record sched speedup
   in
   let sps = spaces config op in
   let total_size =
@@ -233,11 +378,11 @@ let search ?(config = default_config) evaluator op =
   in
   if total_size <= config.max_schedules then
     (* Small space: full exhaustive enumeration. *)
-    Seq.iter evaluate (candidates config op)
+    exhaustive config op ~evaluate ~record
   else begin
     (* Large space: budgeted seeded sampling without replacement. *)
     evaluate [ Schedule.Vectorize ];
-    let rng = Util.Rng.create (Hashtbl.hash op.Linalg.op_name) in
+    let rng = Util.Rng.create (sampling_seed op) in
     let seen = Hashtbl.create 1024 in
     let attempts = ref 0 in
     let max_attempts = config.max_schedules * 20 in
@@ -260,3 +405,12 @@ let search ?(config = default_config) evaluator op =
     explored = !explored;
     trace = Array.of_list (List.rev !trace);
   }
+
+let search ?config evaluator op =
+  search_with ?config evaluator op ~exhaustive:(fun config op ~evaluate:_ ~record ->
+      iter_candidates_shared config op ~eval:(fun sched final ->
+          record sched (Evaluator.speedup evaluator final)))
+
+let search_naive ?config evaluator op =
+  search_with ?config evaluator op ~exhaustive:(fun config op ~evaluate ~record:_ ->
+      Seq.iter evaluate (candidates config op))

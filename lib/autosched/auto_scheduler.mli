@@ -39,7 +39,28 @@ val candidates : config -> Linalg.t -> Schedule.t Seq.t
 (** The deterministic candidate stream for an op, before the budget
     cap. Exposed for tests. *)
 
+val sampling_seed : Linalg.t -> int
+(** Seed of the budgeted-sampling RNG, derived from {!Linalg.digest}
+    (name, dims, iter kinds) — not just [op_name], so same-named ops
+    with different shapes draw decorrelated candidate streams. Exposed
+    so the determinism tests can pin the derivation. *)
+
 val search : ?config:config -> Evaluator.t -> Linalg.t -> result
 (** Run the search. Candidates whose application fails are skipped
     without consuming budget. Always explores at least the trivial
-    [vectorize] schedule, so [best_speedup] is well-defined. *)
+    [vectorize] schedule, so [best_speedup] is well-defined.
+
+    When the space fits the budget, the exhaustive enumeration runs as
+    a prefix-sharing DFS: each transformation is applied once per
+    distinct schedule prefix instead of once per candidate containing
+    it, and evaluation goes through the evaluator's state-seconds
+    transposition cache. Results (best schedule, speedup, explored,
+    trace) are bit-identical to {!search_naive} — the differential
+    property suite asserts it. *)
+
+val search_naive : ?config:config -> Evaluator.t -> Linalg.t -> result
+(** Reference implementation: re-applies every candidate from scratch
+    with {!Sched_state.apply_all} (no prefix sharing). Pair it with an
+    evaluator created with [~state_cache_capacity:0] for the fully
+    unmemoized baseline the differential tests and the evalcache bench
+    compare against. *)

@@ -96,6 +96,12 @@ let expansions config (state : Sched_state.t) =
 
 let search ?(config = default_config) evaluator op =
   let explored = ref 0 in
+  (* Expansion is already prefix-shared: each child is one [apply] on
+     its parent's state, never an [apply_all] replay. The remaining
+     redundancy — distinct action sequences reaching the same nest
+     (tile/swap transpositions, revisits across depths) — is absorbed
+     by the evaluator's digest-keyed state-seconds cache inside
+     [score]. *)
   (* Score = speedup with vectorization appended (virtually). *)
   let score (state : Sched_state.t) =
     incr explored;

@@ -61,6 +61,17 @@ val stores_of_body : t -> mem_ref list
 
 val rename : string -> t -> t
 
+val digest : t -> string
+(** 128-bit structural fingerprint (32 hex chars) in O(nest size),
+    without printing the nest: loops (trip count, kind, origin), body
+    (every constructor tagged, float constants by IEEE bit pattern,
+    subscripts coefficient by coefficient), buffer declarations and
+    inits. The nest [name] is excluded — nothing downstream of lowering
+    reads it, so renamed copies of a nest share memoization entries —
+    but buffer names are included because aliasing is semantic. This is
+    the key of the evaluator's state-seconds cache and the serving
+    daemon's result cache. *)
+
 val map_body_exprs : (Affine.expr -> Affine.expr) -> t -> t
 (** Rewrite every subscript expression of every load and store. *)
 

@@ -109,38 +109,58 @@ let distinct_lines machine (r : ref_info) trips ~from_depth =
     Float.max 1.0 (!other *. last_lines)
   end
 
-(* Footprint (bytes) of all references over the region starting at
-   [from_depth]. *)
-let footprint_bytes machine refs trips ~from_depth =
-  List.fold_left
-    (fun acc r ->
-      acc
-      +. (distinct_lines machine r trips ~from_depth
-          *. float_of_int machine.Machine.l1.Machine.line_bytes))
-    0.0 refs
+(* Reuse tables shared by every cache level of one estimate: per
+   reference, its distinct lines at every region depth (lines.(d) for
+   loops d..n-1 iterating), and per depth the total working-set bytes.
+   Previously each of the three cache-level charges recomputed both
+   ([footprint_bytes] per depth, plus the depth-0 lines per reference)
+   — the one-pass tables make [estimate] hash the memory behaviour of
+   the gathered references exactly once. The fold over [refs] keeps the
+   reference order and the per-term expression of the old
+   [footprint_bytes], so the float sums are bit-identical. *)
+type reuse_tables = {
+  ref_lines : (ref_info * float array) list;  (* gather_refs order *)
+  footprints : float array;  (* bytes of the region at each depth *)
+}
+
+let reuse_tables machine refs trips =
+  let n = Array.length trips in
+  let ref_lines =
+    List.map
+      (fun r ->
+        (r, Array.init (n + 1) (fun d -> distinct_lines machine r trips ~from_depth:d)))
+      refs
+  in
+  let line_bytes = float_of_int machine.Machine.l1.Machine.line_bytes in
+  let footprints =
+    Array.init (n + 1) (fun d ->
+        List.fold_left
+          (fun acc (_, lines) -> acc +. (lines.(d) *. line_bytes))
+          0.0 ref_lines)
+  in
+  { ref_lines; footprints }
 
 (* Miss lines brought into a cache of [capacity] bytes: the distinct
    lines of each reference, re-streamed across every outer loop the
    reference does not depend on whenever the working set inside that
    loop exceeds the cache. *)
-let miss_lines machine refs trips ~capacity =
+let miss_lines tables trips ~capacity =
   let n = Array.length trips in
   (* fits.(d): working set of loops d..n-1 fits comfortably. *)
   let fits =
     Array.init (n + 1) (fun d ->
-        footprint_bytes machine refs trips ~from_depth:d
-        <= fit_fraction *. float_of_int capacity)
+        tables.footprints.(d) <= fit_fraction *. float_of_int capacity)
   in
   List.map
-    (fun r ->
-      let base = distinct_lines machine r trips ~from_depth:0 in
+    (fun (r, lines) ->
+      let base = lines.(0) in
       let factor = ref 1.0 in
       for d = 0 to n - 1 do
         if (not r.deps.(d)) && not fits.(d + 1) then
           factor := !factor *. float_of_int trips.(d)
       done;
       (r, base *. !factor))
-    refs
+    tables.ref_lines
 
 (* A reference whose innermost-varying traversal is last-dim contiguous
    benefits from hardware prefetching. *)
@@ -306,8 +326,9 @@ let estimate ~machine ~(iter_kinds : Linalg.iter_kind array)
   let cycles_per_iter = Float.max issue chain +. overhead in
   let compute_cycles = total_iters *. cycles_per_iter in
   (* --- memory hierarchy traffic --- *)
+  let tables = reuse_tables machine refs trips in
   let charge ~capacity ~next_latency =
-    let per_ref = miss_lines machine refs trips ~capacity in
+    let per_ref = miss_lines tables trips ~capacity in
     List.fold_left
       (fun (lines, cycles) (r, l) ->
         let discount = if is_streaming r then prefetch_discount else 1.0 in

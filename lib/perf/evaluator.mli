@@ -6,13 +6,15 @@
     to a capped, penalized measurement). *)
 
 type t
-(** An evaluator bound to a machine; caches base times per op. *)
+(** An evaluator bound to a machine; caches base times per op and
+    pre-jitter state times per nest digest (the transposition cache). *)
 
 val create :
   ?machine:Machine.t ->
   ?noise:float ->
   ?noise_seed:int ->
   ?cache_capacity:int ->
+  ?state_cache_capacity:int ->
   unit ->
   t
 (** Defaults to {!Machine.e5_2680_v4} and noiseless measurements.
@@ -22,14 +24,20 @@ val create :
     noise. Base times stay noiseless so speedups are jittered only
     through the measurement. [cache_capacity] bounds the base-time
     cache (default 4096 entries, FIFO eviction — an eviction only costs
-    a recompute). *)
+    a recompute). [state_cache_capacity] bounds the state-seconds
+    transposition cache, keyed by
+    (nest digest, iter kinds, packing elements, machine); default
+    65536 entries, [<= 0] disables it (the naive-reference mode the
+    differential tests and benches compare against). The cache stores
+    the pure pre-jitter cost-model value and jitter is applied after
+    lookup, so results are bit-identical with the cache on or off. *)
 
 val fork : t -> t
 (** A worker-local evaluator for parallel rollouts: shares the (domain
-    safe, sharded) base-time cache, copies machine and noise sigma, and
-    starts a fresh explored counter and jitter stream. The caller is
-    expected to seed the jitter stream via {!set_noise_state} and merge
-    the fork's {!explored} delta back. *)
+    safe, sharded) base-time and state-seconds caches, copies machine
+    and noise sigma, and starts a fresh explored counter and jitter
+    stream. The caller is expected to seed the jitter stream via
+    {!set_noise_state} and merge the fork's {!explored} delta back. *)
 
 val machine : t -> Machine.t
 
@@ -41,7 +49,11 @@ val base_seconds : t -> Linalg.t -> float
 
 val state_seconds : t -> Sched_state.t -> float
 (** Estimated time of the current transformed nest, including the im2col
-    packing charge. *)
+    packing charge. Memoized through the transposition cache (keyed by
+    {!Sched_state.digest}): a state whose nest was already priced — by
+    this evaluator or any fork sharing its caches — skips the cost
+    model entirely. [explored] still counts every call and jitter is
+    still drawn per call, so traces and noise streams are unchanged. *)
 
 val timeout_factor : float
 (** The paper's adaptive timeout: measurements above
@@ -73,6 +85,18 @@ val noise_state : t -> int64
 val set_noise_state : t -> int64 -> unit
 (** Restore a jitter stream saved by {!noise_state}. *)
 
-val cache_stats : t -> Util.Sharded_cache.stats
-(** Hit/miss/eviction counters of the base-time cache. Forks share the
-    cache, so the counters aggregate across all of them. *)
+type cache_stats = {
+  base : Util.Sharded_cache.stats;  (** base-time cache, keyed by op *)
+  state : Util.Sharded_cache.stats option;
+      (** state-seconds transposition cache; [None] when disabled *)
+}
+
+val cache_stats : t -> cache_stats
+(** Hit/miss/eviction counters of both caches. Forks share the caches,
+    so the counters aggregate across all of them (and under parallel
+    collection they depend on scheduling — report them on stderr or in
+    metrics, never on determinism-checked stdout). *)
+
+val render_cache_stats : cache_stats -> string
+(** One-line human-readable rendering of {!cache_stats} — what the CLI
+    prints after [autoschedule]/[train] and serve exposes in stats. *)

@@ -102,8 +102,16 @@ let resolve_target t (target : Protocol.target) =
       | Ok () -> Ok op
       | Error e -> Error (Protocol.Unsupported, e))
 
-let cache_key _t op =
-  Digest.to_hex (Digest.string (Ir_printer.to_string (Lower.to_loop_nest op)))
+(* Structural digest of the canonical lowered nest — O(nest) with no
+   intermediate pretty-printed string (the previous scheme printed the
+   whole nest and MD5-ed the text). Nest names are excluded from the
+   digest, so e.g. a spec-built op and the same op raised from IR under
+   another name share a result-cache entry; everything semantic
+   (buffers, subscripts, bodies, shapes) is hashed, so same-named ops
+   with different shapes never collide. *)
+let nest_digest op = Loop_nest.digest (Lower.to_loop_nest op)
+
+let cache_key _t op = nest_digest op
 
 (* One lockstep batched rollout: every active episode contributes a row
    to a single greedy forward pass per step. act_greedy_batch is
@@ -207,3 +215,5 @@ let cache_stats t = Util.Sharded_cache.stats t.cache
 let cache_hits t = (cache_stats t).Util.Sharded_cache.hits
 
 let cache_misses t = (cache_stats t).Util.Sharded_cache.misses
+
+let evaluator_cache_stats t = Evaluator.cache_stats (Env.evaluator t.base_env)

@@ -49,9 +49,15 @@ val resolve_target :
     loop/operand/rank counts beyond the policy's N/L/D bounds) map to
     [Unsupported]. Never raises. *)
 
+val nest_digest : Linalg.t -> string
+(** {!Loop_nest.digest} of the op's canonical lowered nest: the full
+    semantics, not just name and shape, so two different bodies never
+    collide — and no pretty-printed intermediate string, unlike the
+    print+MD5 scheme it replaced. Names are not hashed, so renamed
+    copies of one op share a cache entry. *)
+
 val cache_key : t -> Linalg.t -> string
-(** Digest of the op's canonical lowered nest — the full semantics, not
-    just name and shape, so two different bodies never collide. *)
+(** The result-cache key: {!nest_digest} of the op. *)
 
 val solve_batch :
   t -> Linalg.t array -> (outcome, Protocol.error_code * string) result array
@@ -65,3 +71,8 @@ val cache_stats : t -> Util.Sharded_cache.stats
 val cache_hits : t -> int
 
 val cache_misses : t -> int
+
+val evaluator_cache_stats : t -> Evaluator.cache_stats
+(** Counters of the engine evaluator's base-time and state-seconds
+    caches, aggregated across every forked rollout env — the layer
+    below the result cache, surfaced in serve stats and metrics. *)

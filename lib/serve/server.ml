@@ -183,6 +183,7 @@ let create ?(config = default_config) engine =
 
 let stats_body t =
   let cache = Engine.cache_stats t.engine in
+  let eval = Engine.evaluator_cache_stats t.engine in
   let extra =
     Printf.sprintf
       "state=%s queue=%d in_flight=%d admitted=%d shed=%d expired=%d \
@@ -198,7 +199,44 @@ let stats_body t =
       cache.Util.Sharded_cache.hits cache.Util.Sharded_cache.misses
       cache.Util.Sharded_cache.size
   in
-  extra ^ " " ^ Metrics.stats_line t.metrics
+  (* The evaluator caches sit below the result cache: base times per op
+     and memoized state seconds per nest digest, shared by every forked
+     rollout env. *)
+  let eval_extra =
+    let pair tag (c : Util.Sharded_cache.stats) =
+      Printf.sprintf "eval_%s_hits=%d eval_%s_misses=%d" tag
+        c.Util.Sharded_cache.hits tag c.Util.Sharded_cache.misses
+    in
+    pair "base" eval.Evaluator.base
+    ^
+    match eval.Evaluator.state with
+    | None -> ""
+    | Some st -> " " ^ pair "state" st
+  in
+  extra ^ " " ^ eval_extra ^ " " ^ Metrics.stats_line t.metrics
+
+(* Evaluator-cache counters appended to the Prometheus dump, read at
+   render time from the shared sharded-cache counters. *)
+let eval_cache_metrics t =
+  let s = Engine.evaluator_cache_stats t.engine in
+  let b = Buffer.create 256 in
+  let counter name v =
+    Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" name name v)
+  in
+  let cache tag (c : Util.Sharded_cache.stats) =
+    counter
+      (Printf.sprintf "serve_eval_%s_cache_hits_total" tag)
+      c.Util.Sharded_cache.hits;
+    counter
+      (Printf.sprintf "serve_eval_%s_cache_misses_total" tag)
+      c.Util.Sharded_cache.misses;
+    counter
+      (Printf.sprintf "serve_eval_%s_cache_evictions_total" tag)
+      c.Util.Sharded_cache.evictions
+  in
+  cache "base" s.Evaluator.base;
+  (match s.Evaluator.state with None -> () | Some st -> cache "state" st);
+  Buffer.contents b
 
 let submit t (req : Protocol.request) reply =
   Metrics.incr t.metrics "serve_requests_total";
@@ -207,7 +245,9 @@ let submit t (req : Protocol.request) reply =
   | Protocol.Stats { id } ->
       reply (Protocol.Stats_reply { s_id = id; body = stats_body t })
   | Protocol.Metrics { id } ->
-      reply (Protocol.Metrics_reply { m_id = id; body = Metrics.render t.metrics })
+      reply
+        (Protocol.Metrics_reply
+           { m_id = id; body = Metrics.render t.metrics ^ eval_cache_metrics t })
   | Protocol.Optimize { id; target; deadline_ms } -> (
       let submitted_at = now () in
       match Engine.resolve_target t.engine target with

@@ -132,10 +132,20 @@ let interchange perm (nest : Loop_nest.t) =
     let inv = Array.make n 0 in
     Array.iteri (fun i j -> inv.(j) <- i) full;
     let new_loops = Array.init n (fun i -> nest.loops.(full.(i))) in
-    let subst = Array.init n (fun j -> dim_expr n inv.(j)) in
+    (* A permutation substitution only moves coefficients: the generic
+       [Affine.substitute] would build the same expr through an O(n^2)
+       sum of single-term dims. Permute directly — identical integer
+       results, and interchange/swap sit on the search hot path. *)
+    let permute (e : Affine.expr) =
+      let c = e.Affine.coeffs in
+      let c' = Array.make n 0 in
+      for j = 0 to n - 1 do
+        c'.(inv.(j)) <- c.(j)
+      done;
+      { e with Affine.coeffs = c' }
+    in
     Ok
-      (Loop_nest.map_body_exprs
-         (fun e -> Affine.substitute e subst)
+      (Loop_nest.map_body_exprs permute
          { nest with Loop_nest.loops = new_loops })
   end
 

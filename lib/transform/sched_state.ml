@@ -2,6 +2,7 @@ type t = {
   original : Linalg.t;
   op : Linalg.t;
   nest : Loop_nest.t;
+  nest_digest : string;
   applied : Schedule.t;
   packing_elements : int;
   parallelized : bool;
@@ -9,15 +10,19 @@ type t = {
 }
 
 let init op =
+  let nest = Lower.to_loop_nest op in
   {
     original = op;
     op;
-    nest = Lower.to_loop_nest op;
+    nest;
+    nest_digest = Loop_nest.digest nest;
     applied = [];
     packing_elements = 0;
     parallelized = false;
     vectorized = false;
   }
+
+let digest state = state.nest_digest
 
 let n_point_loops state = Linalg.n_loops state.op
 
@@ -103,7 +108,15 @@ let certificate_check (before : Loop_nest.t) (tr : Schedule.transformation)
 
 let record state tr nest =
   if !certify then certificate_check state.nest tr nest;
-  { state with nest; applied = state.applied @ [ tr ] }
+  (* The digest is refreshed here, once per accepted transformation —
+     every evaluation of the resulting state then gets an O(1) cache
+     key instead of re-hashing (or worse, re-printing) the nest. *)
+  {
+    state with
+    nest;
+    nest_digest = Loop_nest.digest nest;
+    applied = state.applied @ [ tr ];
+  }
 
 (* Point loops whose op dim is a reduction cannot run in parallel: that
    would race on the accumulator (MLIR's tile_using_forall rejects it). *)
@@ -161,6 +174,7 @@ let apply state (tr : Schedule.transformation) =
                   state with
                   op = gemm;
                   nest;
+                  nest_digest = Loop_nest.digest nest;
                   applied = state.applied @ [ tr ];
                   packing_elements = elems;
                 })
