@@ -368,8 +368,8 @@ let run ?(quick = false) (c : Bench_common.config) =
 
   let json = json_of_results ~quick dig exhaustive beam train in
   let path = "BENCH_evalcache.json" in
-  let oc = open_out path in
-  output_string oc json;
-  close_out oc;
+  (* Atomic (temp + rename): a reader or a crash mid-run never sees a
+     half-written artifact. *)
+  Util.Atomic_file.write_string ~path json;
   Printf.printf "\nwrote %s%s\n" path
     (if !mismatch then " (MISMATCH present!)" else "")

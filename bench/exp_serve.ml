@@ -285,7 +285,7 @@ let run ?(quick = false) (c : Bench_common.config) =
 
   let json = json_of_results ~quick ~hidden ch tp ov in
   let path = "BENCH_serve.json" in
-  let oc = open_out path in
-  output_string oc json;
-  close_out oc;
+  (* Atomic (temp + rename): a reader or a crash mid-run never sees a
+     half-written artifact. *)
+  Util.Atomic_file.write_string ~path json;
   Printf.printf "\nwrote %s\n" path

@@ -22,12 +22,7 @@ let optim_path path = path ^ ".optim"
 let exists ~path = Sys.file_exists (meta_path path)
 
 let write_meta path m =
-  let file = meta_path path in
-  let tmp = file ^ ".tmp" in
-  let oc = open_out tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
+  Util.Atomic_file.with_out ~path:(meta_path path) (fun oc ->
       output_string oc (magic ^ "\n");
       Printf.fprintf oc "iteration %d\n" m.iteration;
       Printf.fprintf oc "rng_state %Ld\n" m.rng_state;
@@ -39,8 +34,7 @@ let write_meta path m =
       Printf.fprintf oc "noise_state %Ld\n" m.noise_state;
       match m.fault_state with
       | None -> output_string oc "fault_state none\n"
-      | Some (s, n) -> Printf.fprintf oc "fault_state %Ld %d\n" s n);
-  Sys.rename tmp file
+      | Some (s, n) -> Printf.fprintf oc "fault_state %Ld %d\n" s n)
 
 let parse_meta lines =
   let tbl = Hashtbl.create 8 in

@@ -3,6 +3,7 @@ type config = {
   hidden : int;
   checkpoint : string option;
   cache_capacity : int;
+  measure_delay_s : float;
 }
 
 let default_config =
@@ -11,6 +12,7 @@ let default_config =
     hidden = 64;
     checkpoint = None;
     cache_capacity = 4096;
+    measure_delay_s = 0.0;
   }
 
 type outcome = { schedule : string; speedup : float }
@@ -113,6 +115,26 @@ let nest_digest op = Loop_nest.digest (Lower.to_loop_nest op)
 
 let cache_key _t op = nest_digest op
 
+(* Engine-free digest for routing: the fleet supervisor hashes this
+   onto its replica ring, so it must agree with [cache_key] whenever
+   the target parses (then requests for one nest keep landing on the
+   replica whose result cache already holds it, however the nest was
+   spelled). Unparsable targets fall back to a digest of the raw text —
+   any replica will answer those with the same parse error. *)
+let target_digest (target : Protocol.target) =
+  match target with
+  | Protocol.Spec s -> (
+      match Op_spec.parse s with
+      | Ok op -> nest_digest op
+      | Error _ -> Digest.to_hex (Digest.string ("spec:" ^ s)))
+  | Protocol.Ir s -> (
+      match Ir_parser.parse_result s with
+      | Ok nest -> (
+          match Lower.raise_nest nest with
+          | Ok op -> nest_digest op
+          | Error _ -> Loop_nest.digest nest)
+      | Error _ -> Digest.to_hex (Digest.string ("ir:" ^ s)))
+
 (* One lockstep batched rollout: every active episode contributes a row
    to a single greedy forward pass per step. act_greedy_batch is
    row-independent, so this computes exactly what per-op greedy_rollout
@@ -191,6 +213,15 @@ let solve_batch t ops =
   in
   if unique <> [] then begin
     let unique = Array.of_list unique in
+    (* Emulated measurement wall time: one hardware-measurement round
+       per unique uncached nest. The analytic evaluator answers in
+       microseconds, which no real deployment does — schedules are
+       timed on hardware — so benchmarks of fleet scaling would
+       otherwise be bottlenecked by this host's single core instead of
+       by measurement latency. Cache hits skip it: a cached result
+       needs no re-measurement. Off (0.0) by default. *)
+    if t.cfg.measure_delay_s > 0.0 then
+      Unix.sleepf (t.cfg.measure_delay_s *. float_of_int (Array.length unique));
     let computed = rollout_batch t (Array.map (fun i -> ops.(i)) unique) in
     Array.iteri
       (fun k i ->

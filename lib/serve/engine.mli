@@ -21,10 +21,20 @@ type config = {
       (** weights to serve ({!Serialize} format); [None] serves a
           seed-0x51-initialized policy — useful for smoke tests *)
   cache_capacity : int;  (** result-cache bound (entries) *)
+  measure_delay_s : float;
+      (** emulated hardware-measurement time per unique uncached nest
+          in a batch (a real deployment times candidate schedules on
+          hardware; the analytic evaluator does not). [solve_batch]
+          sleeps [measure_delay_s * unique_misses] before rolling out,
+          so serving latency is measurement-bound the way production
+          is, cache hits stay instant, and fleet benchmarks scale with
+          replicas instead of with this host's core count. 0 (off) by
+          default. *)
 }
 
 val default_config : config
-(** [Env_config.default], hidden 64, no checkpoint, capacity 4096. *)
+(** [Env_config.default], hidden 64, no checkpoint, capacity 4096,
+    no measurement delay. *)
 
 type outcome = {
   schedule : string;  (** printable {!Schedule} notation *)
@@ -58,6 +68,15 @@ val nest_digest : Linalg.t -> string
 
 val cache_key : t -> Linalg.t -> string
 (** The result-cache key: {!nest_digest} of the op. *)
+
+val target_digest : Protocol.target -> string
+(** Routing key for the fleet supervisor: {!nest_digest} of the parsed
+    target, so it equals the replica-side {!cache_key} whenever the
+    target parses (consistent-hash routing then keeps each digest on
+    the replica whose cache is already hot for it, whether the nest
+    arrived as a spec or as IR). Targets that do not parse hash their
+    raw text instead — every replica answers those with the same
+    error, so placement is irrelevant. Needs no engine. *)
 
 val solve_batch :
   t -> Linalg.t array -> (outcome, Protocol.error_code * string) result array

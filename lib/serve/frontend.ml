@@ -28,7 +28,9 @@ let reply_callback conn response =
   Condition.broadcast conn.cond;
   Mutex.unlock conn.lock
 
-let serve_channels server ic oc =
+type handler = Protocol.request -> (Protocol.response -> unit) -> unit
+
+let serve_channels_handler handler ic oc =
   let conn = { out = oc; lock = Mutex.create (); cond = Condition.create (); outstanding = 0 } in
   (try
      while true do
@@ -48,7 +50,7 @@ let serve_channels server ic oc =
              Mutex.lock conn.lock;
              conn.outstanding <- conn.outstanding + 1;
              Mutex.unlock conn.lock;
-             Server.submit server req (reply_callback conn)
+             handler req (reply_callback conn)
      done
    with End_of_file -> ());
   Mutex.lock conn.lock;
@@ -57,7 +59,10 @@ let serve_channels server ic oc =
   done;
   Mutex.unlock conn.lock
 
-let listen_unix ?(backlog = 16) server ~path =
+let serve_channels server ic oc =
+  serve_channels_handler (Server.submit server) ic oc
+
+let listen_unix_handler ?(backlog = 16) handler ~path =
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind sock (Unix.ADDR_UNIX path);
@@ -69,9 +74,12 @@ let listen_unix ?(backlog = 16) server ~path =
         (fun fd ->
           let ic = Unix.in_channel_of_descr fd in
           let oc = Unix.out_channel_of_descr fd in
-          (try serve_channels server ic oc with _ -> ());
+          (try serve_channels_handler handler ic oc with _ -> ());
           try Unix.close fd with Unix.Unix_error _ -> ())
         fd
     in
     ()
   done
+
+let listen_unix ?backlog server ~path =
+  listen_unix_handler ?backlog (Server.submit server) ~path

@@ -9,6 +9,18 @@
     flushed per line — interleaving across in-flight requests is
     expected, clients correlate by id. *)
 
+type handler = Protocol.request -> (Protocol.response -> unit) -> unit
+(** Whatever answers requests behind a transport: [Server.submit s]
+    for a single-engine daemon, [fun req k -> k (Supervisor.call s req)]
+    for the fleet front door. The callback may be invoked on any
+    thread, synchronously or later; exactly once per request. *)
+
+val serve_channels_handler : handler -> in_channel -> out_channel -> unit
+(** {!serve_channels} generalized over the {!handler}. *)
+
+val listen_unix_handler : ?backlog:int -> handler -> path:string -> unit
+(** {!listen_unix} generalized over the {!handler}. *)
+
 val serve_channels : Server.t -> in_channel -> out_channel -> unit
 (** The stdin/stdout frontend: read request lines until EOF, then wait
     for every outstanding reply on this channel pair before returning

@@ -2,6 +2,61 @@ type config = { workers : int; batcher : Batcher.config }
 
 let default_config = { workers = 1; batcher = Batcher.default_config }
 
+(* Event-driven timed wait for the dispatcher. The stdlib has no timed
+   condition wait, so blocking "until notified or until the flush
+   timer fires" uses the classic self-pipe: waiters select on the read
+   end with the timer as select's timeout, notifiers write one byte.
+   The byte persists until drained, so a notification sent between
+   "checked state under the lock" and "entered select" wakes the very
+   next wait — no lost-wakeup window, and an idle dispatcher burns no
+   CPU (it used to sleep-poll in sub-millisecond slices). *)
+module Waker = struct
+  type t = { rd : Unix.file_descr; wr : Unix.file_descr }
+
+  let create () =
+    let rd, wr = Unix.pipe ~cloexec:true () in
+    Unix.set_nonblock rd;
+    Unix.set_nonblock wr;
+    { rd; wr }
+
+  let notify t =
+    (* A full pipe already holds a pending wakeup; a closed pipe means
+       the dispatcher is gone. Either way there is nothing to do. *)
+    try ignore (Unix.write t.wr (Bytes.make 1 '\001') 0 1)
+    with
+    | Unix.Unix_error
+        ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _)
+    ->
+      ()
+
+  let drain_pipe t =
+    let buf = Bytes.create 64 in
+    let rec go () =
+      match Unix.read t.rd buf 0 (Bytes.length buf) with
+      | n when n > 0 -> go ()
+      | _ -> ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    in
+    go ()
+
+  (* Block until notified or [timeout] seconds pass ([None] = forever).
+     Pending notifications are drained before returning; the caller
+     re-examines all shared state after every wakeup, so coalescing
+     them is safe. *)
+  let wait t timeout =
+    let tv = match timeout with None -> -1.0 | Some s -> Float.max s 0.0 in
+    (match Unix.select [ t.rd ] [] [] tv with
+    | _ -> ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+    drain_pipe t
+
+  let close t =
+    (try Unix.close t.wr with Unix.Unix_error _ -> ());
+    try Unix.close t.rd with Unix.Unix_error _ -> ()
+end
+
 (* One admitted optimize request: resolved op, reply callback, and the
    submit timestamp for the latency histogram. *)
 type job = {
@@ -19,7 +74,8 @@ type t = {
   pool : Util.Domain_pool.t;
   metrics : Metrics.t;
   mutex : Mutex.t;
-  cond : Condition.t;
+  cond : Condition.t;  (** drain waiters; the dispatcher waits on [waker] *)
+  waker : Waker.t;
   batcher : job Batcher.t;
   mutable state : state;
   mutable in_flight : int;  (** batches currently on the pool *)
@@ -81,11 +137,14 @@ let run_batch t (items : job Batcher.item list) =
 
 (* -- dispatcher ------------------------------------------------------- *)
 
-(* The stdlib has no timed condition wait, so the dispatcher waits on
-   the condition when there is nothing scheduled and sleep-polls in
-   sub-millisecond slices when a flush or deadline lies in the future.
-   Slices are bounded by the event distance, so a flush timer of
-   max_wait_ms fires within ~max_wait_ms + 1ms. *)
+(* The dispatcher blocks on its {!Waker} whenever there is nothing to
+   do: forever when no timed event is scheduled, with the distance to
+   the next flush/deadline as the select timeout otherwise. Every
+   state change that could unblock it (admission, drain, a worker slot
+   freeing) notifies the waker, and the notification byte persists
+   until drained — so an idle or timer-waiting dispatcher costs zero
+   CPU and still reacts to events immediately, where it used to
+   sleep-poll in sub-millisecond slices. *)
 let dispatcher_loop t =
   let finished = ref false in
   while not !finished do
@@ -106,11 +165,11 @@ let dispatcher_loop t =
       && batch = [] && expired = []
     in
     if drained_now then t.state <- Drained;
-    (* Decide how to wait before releasing the lock. Every state change
-       that could unblock us (admission, drain, a worker slot freeing)
-       broadcasts the condition, so blocking is safe whenever no timed
-       event is pending. With all workers busy the flush timer cannot
-       fire anyway, so only request deadlines force timed wakeups. *)
+    (* Decide how to wait before releasing the lock. With all workers
+       busy the flush timer cannot fire anyway, so only request
+       deadlines force timed wakeups; notifications sent after we
+       unlock are parked in the waker pipe and wake the select
+       instantly, so the decision cannot go stale. *)
     let wait_plan =
       if drained_now || batch <> [] || expired <> [] then `Continue
       else if t.in_flight >= t.cfg.workers then
@@ -124,9 +183,6 @@ let dispatcher_loop t =
         | Some s when s <= 0.0 -> `Continue
         | Some s -> `Sleep s
     in
-    (match wait_plan with
-    | `Block -> Condition.wait t.cond t.mutex
-    | `Continue | `Sleep _ -> ());
     Mutex.unlock t.mutex;
     List.iter
       (fun (it : job Batcher.item) ->
@@ -142,17 +198,16 @@ let dispatcher_loop t =
                 Mutex.lock t.mutex;
                 t.in_flight <- t.in_flight - 1;
                 Condition.broadcast t.cond;
-                Mutex.unlock t.mutex)
+                Mutex.unlock t.mutex;
+                Waker.notify t.waker)
               (fun () -> run_batch t batch))
       in
       ()
     end;
     (match wait_plan with
-    | `Sleep s ->
-        (* in_flight completions only matter once the timer fires, so a
-           plain bounded sleep (no condition) is enough here. *)
-        Unix.sleepf (Float.min s 0.001 |> Float.max 0.0002)
-    | `Block | `Continue -> ());
+    | `Block -> Waker.wait t.waker None
+    | `Sleep s -> Waker.wait t.waker (Some s)
+    | `Continue -> ());
     if drained_now then begin
       Mutex.lock t.mutex;
       Condition.broadcast t.cond;
@@ -171,6 +226,7 @@ let create ?(config = default_config) engine =
       metrics = Metrics.create ();
       mutex = Mutex.create ();
       cond = Condition.create ();
+      waker = Waker.create ();
       batcher = Batcher.create config.batcher;
       state = Running;
       in_flight = 0;
@@ -264,7 +320,7 @@ let submit t (req : Protocol.request) reply =
                 Batcher.admit t.batcher ~now:submitted_at ?deadline_ms job
               with
               | Batcher.Admitted ->
-                  Condition.broadcast t.cond;
+                  Waker.notify t.waker;
                   `Admitted
               | Batcher.Shed -> `Shed
           in
@@ -289,6 +345,7 @@ let drain t =
   | Running ->
       t.state <- Draining;
       Condition.broadcast t.cond;
+      Waker.notify t.waker;
       while t.state <> Drained do
         Condition.wait t.cond t.mutex
       done;
@@ -298,6 +355,7 @@ let drain t =
           (try Domain.join d with _ -> ());
           t.dispatcher <- None
       | None -> ());
+      Waker.close t.waker;
       Util.Domain_pool.shutdown t.pool;
       Mutex.lock t.mutex;
       t.drain_done <- true;

@@ -62,7 +62,8 @@ let gen_response =
         Serve.Protocol.
           [
             Parse_error; Invalid_request; Unsupported; Overloaded;
-            Deadline_exceeded; Env_failure; Shutting_down;
+            Deadline_exceeded; Env_failure; Shutting_down; Unavailable;
+            Upstream_failure;
           ]
     in
     oneofl
