@@ -568,9 +568,31 @@ let serve_cmd =
       done;
       try Unix.rmdir dir with Unix.Unix_error _ -> ()
     in
+    (* The OCaml runtime may run a signal handler on any thread at a
+       safe point — including the heartbeat thread while it holds the
+       supervisor mutex inside tick — and Supervisor.drain locks that
+       (non-reentrant) mutex, waits on its condition variable and
+       joins the heartbeat. So the handler must not drain: it only
+       pokes a self-pipe, and a dedicated shutdown thread (which holds
+       no supervisor state) performs drain/cleanup/exit. *)
+    let stop_rd, stop_wr = Unix.pipe ~cloexec:true () in
+    let (_shutdown : Thread.t) =
+      Thread.create
+        (fun () ->
+          let b = Bytes.create 1 in
+          let rec await () =
+            match Unix.read stop_rd b 0 1 with
+            | _ -> ()
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> await ()
+          in
+          await ();
+          cleanup ();
+          exit 0)
+        ()
+    in
     let stop _ =
-      cleanup ();
-      exit 0
+      try ignore (Unix.write stop_wr (Bytes.make 1 '!') 0 1)
+      with Unix.Unix_error _ -> ()
     in
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);

@@ -31,6 +31,9 @@ let reply_callback conn response =
 type handler = Protocol.request -> (Protocol.response -> unit) -> unit
 
 let serve_channels_handler handler ic oc =
+  (* write_line's [Sys_error] catch only sees a client hang-up if the
+     broken-pipe write raises instead of delivering a fatal SIGPIPE. *)
+  Replica.ignore_sigpipe ();
   let conn = { out = oc; lock = Mutex.create (); cond = Condition.create (); outstanding = 0 } in
   (try
      while true do
@@ -63,12 +66,21 @@ let serve_channels server ic oc =
   serve_channels_handler (Server.submit server) ic oc
 
 let listen_unix_handler ?(backlog = 16) handler ~path =
+  Replica.ignore_sigpipe ();
   (try Unix.unlink path with Unix.Unix_error _ -> ());
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   Unix.bind sock (Unix.ADDR_UNIX path);
   Unix.listen sock backlog;
+  (* A signal (e.g. the fleet's SIGTERM handler poking its shutdown
+     pipe) interrupts accept with EINTR; that must restart the loop,
+     not crash the front door out from under the shutdown thread. *)
+  let rec accept_retry () =
+    match Unix.accept sock with
+    | r -> r
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_retry ()
+  in
   while true do
-    let fd, _addr = Unix.accept sock in
+    let fd, _addr = accept_retry () in
     let _t : Thread.t =
       Thread.create
         (fun fd ->

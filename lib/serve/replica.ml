@@ -7,6 +7,17 @@
    rather than returned to the pool (its late reply must never be
    misread as the answer to a later request). *)
 
+(* Writing to a peer that died (exactly what the chaos harness
+   injects) must raise EPIPE and flow into the typed error handling
+   below — the default SIGPIPE action would kill the whole
+   supervisor/front-door process instead. Ignored dispositions survive
+   fork+exec, so spawned replicas inherit this too. *)
+let ignore_sigpipe () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ | Sys_error _ -> ()
+
+let () = ignore_sigpipe ()
+
 type error =
   | Timeout
   | Connection of string
@@ -45,20 +56,36 @@ let connect_fd path =
       (try Unix.close fd with Unix.Unix_error _ -> ());
       Error (Connection (Printexc.to_string exn))
 
-(* Unix-domain sockets are local: writes of one protocol line either
-   fit the socket buffer or block briefly on a live peer; a dead peer
-   raises EPIPE/ECONNRESET immediately. *)
-let write_line c line =
+(* Write one protocol line, never blocking past [deadline]: a stalled
+   peer (SIGSTOPped replica with a full socket buffer — a scenario the
+   chaos plan injects) must surface as [Error Timeout], not block the
+   request thread indefinitely. Each write is preceded by a
+   writability select against the remaining budget; a blocking write
+   after a positive select transfers at least one byte without
+   blocking (the connection is checked out exclusively, so no other
+   thread competes for the buffer space select saw). A dead peer
+   raises EPIPE/ECONNRESET immediately (SIGPIPE is ignored above). *)
+let write_line c line ~deadline =
   let data = line ^ "\n" in
   let len = String.length data in
   let rec go off =
     if off >= len then Ok ()
     else
-      match Unix.write_substring c.fd data off (len - off) with
-      | n -> go (off + n)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-      | exception Unix.Unix_error (e, _, _) ->
-          Error (Connection (Unix.error_message e))
+      let remaining = deadline -. Unix.gettimeofday () in
+      if remaining <= 0.0 then Error Timeout
+      else
+        match Unix.select [] [ c.fd ] [] remaining with
+        | _, [], _ -> Error Timeout
+        | _ -> (
+            match Unix.write_substring c.fd data off (len - off) with
+            | n -> go (off + n)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+            | exception
+                Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+                go off
+            | exception Unix.Unix_error (e, _, _) ->
+                Error (Connection (Unix.error_message e)))
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
   in
   go 0
 
@@ -104,7 +131,7 @@ let read_line c ~deadline =
 
 let round_trip c req ~timeout_s =
   let deadline = Unix.gettimeofday () +. timeout_s in
-  match write_line c (Protocol.encode_request req) with
+  match write_line c (Protocol.encode_request req) ~deadline with
   | Error _ as e -> e
   | Ok () -> (
       match read_line c ~deadline with
@@ -227,9 +254,16 @@ let spawn ~exe ~args ~socket () =
   | Error e -> Error (Printf.sprintf "cannot start %s: %s" exe e)
   | Ok pid ->
       let pool = pool_create socket in
-      (* Exit is observed at most once per process: cache it. *)
+      (* Exit is observed at most once per process: cache it. The
+         mutex makes the check-exited / waitpid / kill sequences
+         atomic across threads (heartbeat calls [alive], request and
+         drain threads call [kill]) — without it, kill could pass the
+         [not !exited] check just as another thread's waitpid reaps
+         the child, then SIGKILL a recycled pid belonging to an
+         unrelated process. *)
+      let proc_mutex = Mutex.create () in
       let exited = ref false in
-      let reap ~block =
+      let reap_locked ~block =
         if !exited then true
         else
           let flags = if block then [] else [ Unix.WNOHANG ] in
@@ -243,6 +277,12 @@ let spawn ~exe ~args ~socket () =
               true
           | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
       in
+      let reap ~block =
+        Mutex.lock proc_mutex;
+        let r = reap_locked ~block in
+        Mutex.unlock proc_mutex;
+        r
+      in
       Ok
         {
           pid = Some pid;
@@ -252,11 +292,13 @@ let spawn ~exe ~args ~socket () =
           kill =
             (fun () ->
               pool_close_all pool;
+              Mutex.lock proc_mutex;
               if not !exited then begin
                 (try Unix.kill pid Sys.sigkill
                  with Unix.Unix_error _ -> ());
-                ignore (reap ~block:true)
-              end);
+                ignore (reap_locked ~block:true)
+              end;
+              Mutex.unlock proc_mutex);
         }
 
 let call_once ~socket ~timeout_s req =

@@ -11,6 +11,14 @@
     food, hedge triggers) and {!Garbled} as protocol corruption — the
     connection that produced it is never reused. *)
 
+val ignore_sigpipe : unit -> unit
+(** Set SIGPIPE to ignore for this process (idempotent, no-op where
+    unsupported), so writes to a dead peer raise [EPIPE] and become
+    typed {!Connection} errors instead of killing the process. Runs
+    once at module load; daemon entry points ({!Supervisor.create},
+    the {!Frontend} accept loops) also call it explicitly. Ignored
+    dispositions survive fork+exec, so spawned replicas inherit it. *)
+
 type error =
   | Timeout  (** no complete reply line within the caller's deadline *)
   | Connection of string  (** connect/write/EOF-level failure *)

@@ -167,6 +167,9 @@ let install_launch_locked t slot result ~relaunch =
 (* ---------- create ---------- *)
 
 let create ?(config = default_config) ?now ?sleep ~launcher () =
+  (* A replica dying mid-write (the chaos harness's bread and butter)
+     must produce EPIPE, not a process-killing SIGPIPE. *)
+  Replica.ignore_sigpipe ();
   match validate config with
   | Error e -> Error ("Supervisor.create: " ^ e)
   | Ok () ->
@@ -326,7 +329,10 @@ let await_ready t ~timeout_s =
 let start_heartbeat t =
   Mutex.lock t.mutex;
   let need = t.heartbeat = None && not t.draining in
-  if need then
+  if need then begin
+    (* Reset the stop flag so start after stop spawns a live loop, not
+       a thread that observes a stale [true] and exits immediately. *)
+    t.heartbeat_stop <- false;
     t.heartbeat <-
       Some
         (Thread.create
@@ -335,7 +341,8 @@ let start_heartbeat t =
                tick t;
                t.sleep t.cfg.health_interval_s
              done)
-           ());
+           ())
+  end;
   Mutex.unlock t.mutex
 
 (* ---------- request path ---------- *)

@@ -78,7 +78,14 @@ val tick : t -> unit
 
 val start_heartbeat : t -> unit
 (** Spawn the background thread that runs {!tick} every
-    [health_interval_s]. Idempotent; stopped by {!drain}. *)
+    [health_interval_s]. Idempotent; stopped by {!stop_heartbeat} or
+    {!drain}, and restartable after {!stop_heartbeat}. *)
+
+val stop_heartbeat : t -> unit
+(** Stop and join the heartbeat thread (no-op if none runs).
+    Supervision pauses — no health probes, no restarts — but slot
+    state is kept and the request path stays live; {!start_heartbeat}
+    resumes. {!drain} calls this on the way down. *)
 
 val await_ready : t -> timeout_s:float -> bool
 (** Tick until every slot is up (true) or the timeout elapses (false).

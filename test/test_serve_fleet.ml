@@ -398,6 +398,42 @@ let test_supervisor_crash_detect_and_restart () =
     + (Serve.Supervisor.status sup).(2).Serve.Supervisor.rs_restarts);
   Serve.Supervisor.drain sup
 
+(* start_heartbeat after stop_heartbeat must spawn a live supervision
+   loop: a stale stop flag used to make the second thread exit
+   immediately, silently ending supervision. The heartbeat thread is
+   real; only the clock it ticks on is mocked, so recovery is awaited
+   under a wall-clock bound instead of driven by manual [tick]. *)
+let test_supervisor_heartbeat_restartable () =
+  let wait_for ?(timeout = 10.0) pred =
+    let deadline = Unix.gettimeofday () +. timeout in
+    let rec go () =
+      if pred () then true
+      else if Unix.gettimeofday () >= deadline then false
+      else begin
+        Thread.yield ();
+        go ()
+      end
+    in
+    go ()
+  in
+  let clock = mk_clock () in
+  let launcher ~index:_ = Ok (fst (ok_replica ())) in
+  let sup = make_sup ~replicas:1 ~launcher clock in
+  check "ready" true (Serve.Supervisor.await_ready sup ~timeout_s:5.0);
+  let restarts () =
+    (Serve.Supervisor.status sup).(0).Serve.Supervisor.rs_restarts
+  in
+  Serve.Supervisor.start_heartbeat sup;
+  Serve.Supervisor.kill_replica sup 0;
+  check "heartbeat restarts the killed replica" true
+    (wait_for (fun () -> restarts () >= 1));
+  Serve.Supervisor.stop_heartbeat sup;
+  Serve.Supervisor.start_heartbeat sup;
+  Serve.Supervisor.kill_replica sup 0;
+  check "heartbeat restarted after stop still supervises" true
+    (wait_for (fun () -> restarts () >= 2));
+  Serve.Supervisor.drain sup
+
 (* ------------------------------------------------------------------ *)
 (* Supervisor: request path                                            *)
 (* ------------------------------------------------------------------ *)
@@ -730,6 +766,8 @@ let suite =
       test_supervisor_restart_backoff_spacing;
     Alcotest.test_case "supervisor: crash detection + restart" `Quick
       test_supervisor_crash_detect_and_restart;
+    Alcotest.test_case "supervisor: heartbeat restart after stop" `Quick
+      test_supervisor_heartbeat_restartable;
     Alcotest.test_case "supervisor: hedge rescue + breaker shed" `Quick
       test_supervisor_hedge_and_breaker_shed;
     Alcotest.test_case "supervisor: garbled reply hedged" `Quick
