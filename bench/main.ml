@@ -13,7 +13,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [--fast|--quick] [table1] [table2] [fig5] [fig6] [fig7] [fig8] [ablation] [faults] [legality] [throughput] [serve] [fleet] [evalcache] [micro]";
+    "usage: main.exe [--fast|--quick] [table1] [table2] [fig5] [fig6] [fig7] [fig8] [ablation] [faults] [legality] [sanitize] [throughput] [serve] [fleet] [evalcache] [micro]";
   exit 2
 
 let () =
@@ -29,8 +29,8 @@ let () =
         not
           (List.mem a
              [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "ablation";
-               "faults"; "legality"; "throughput"; "serve"; "fleet";
-               "evalcache"; "micro" ])
+               "faults"; "legality"; "sanitize"; "throughput"; "serve";
+               "fleet"; "evalcache"; "micro" ])
       then begin
         Printf.printf "unknown experiment %S\n" a;
         usage ()
@@ -64,6 +64,7 @@ let () =
   if want "ablation" then Exp_ablation.run c (trained_agent ());
   if want "faults" then Exp_faults.run c;
   if want "legality" then Exp_legality.run c;
+  if want "sanitize" then Exp_sanitize.run ~quick:fast c;
   if want "throughput" then Exp_throughput.run c;
   if want "serve" then Exp_serve.run ~quick:fast c;
   if want "fleet" then Exp_fleet.run ~quick:fast c;

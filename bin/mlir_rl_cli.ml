@@ -25,6 +25,21 @@ let spec_arg =
     & info [] ~docv:"OP"
         ~doc:"Operation spec, e.g. matmul:1024x1024x1024 or conv2d:56x56x64,k3,f128,s1")
 
+(* Verifier / differential-sanitizer counters, printed to stderr (the
+   determinism smokes diff stdout) at the end of commands that apply
+   transformations. Silent unless a check layer is on. *)
+let report_check_stats () =
+  if Verifier.enabled () then begin
+    let v = Verifier.stats () in
+    Format.eprintf "verifier: %d checks, %d violations@." v.Verifier.checks
+      v.Verifier.violations
+  end;
+  if Sanitizer.enabled () then begin
+    let s = Sanitizer.stats () in
+    Format.eprintf "sanitizer: %d differential runs, %d skips, %d violations@."
+      s.Sanitizer.runs s.Sanitizer.skips s.Sanitizer.violations
+  end
+
 (* --- show --- *)
 
 let show_cmd =
@@ -121,7 +136,8 @@ let autoschedule_cmd =
       (base /. r.Auto_scheduler.best_speedup)
       base;
     Format.printf "caches   : %s@."
-      (Evaluator.render_cache_stats (Evaluator.cache_stats ev))
+      (Evaluator.render_cache_stats (Evaluator.cache_stats ev));
+    report_check_stats ()
   in
   let budget_arg =
     Arg.(value & opt int 3000 & info [ "budget" ] ~doc:"Exploration budget")
@@ -315,6 +331,7 @@ let train_cmd =
        and stdout must stay byte-identical across --jobs values. *)
     Format.eprintf "evaluator caches: %s@."
       (Evaluator.render_cache_stats (Evaluator.cache_stats evaluator));
+    report_check_stats ();
     Format.printf "@.greedy schedules:@.";
     Array.iteri
       (fun i op ->
@@ -886,6 +903,74 @@ let analyze_cmd =
     end
     else Lower.to_loop_nest (op_of_spec target)
   in
+  (* Hand-rolled JSON (no external dependency): strings escaped per RFC
+     8259, structure emitted directly into a buffer. *)
+  let json_escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | '\r' -> Buffer.add_string b "\\r"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+  in
+  let json_of_target target (nest : Loop_nest.t) =
+    let b = Buffer.create 1024 in
+    let str s = Printf.sprintf "\"%s\"" (json_escape s) in
+    let bool v = if v then "true" else "false" in
+    let arr items = "[" ^ String.concat "," items ^ "]" in
+    let deps = Dependence.analyze nest in
+    let leg = Legality.analyze nest in
+    let v = Legality.verdicts leg in
+    let n = Legality.n_loops leg in
+    let bounds = Bounds.analyze nest in
+    let fp = Footprint.analyze nest in
+    let diags = Nest_lint.run nest in
+    Printf.bprintf b "{\"target\":%s,\"name\":%s,\"loops\":%d," (str target)
+      (str nest.Loop_nest.name) n;
+    Printf.bprintf b "\"trip_counts\":%s,"
+      (arr
+         (Array.to_list
+            (Array.map string_of_int (Loop_nest.trip_counts nest))));
+    Printf.bprintf b "\"dependences\":%d," (List.length deps);
+    Printf.bprintf b
+      "\"legality\":{\"tile\":%s,\"vectorize\":%s,\"unroll\":%s,\"parallelize\":%s,\"interchange\":%s},"
+      (bool v.Legality.tile) (bool v.Legality.vectorize)
+      (bool v.Legality.unroll)
+      (arr (Array.to_list (Array.map bool v.Legality.parallelize)))
+      (arr (Array.to_list (Array.map bool v.Legality.interchange)));
+    Printf.bprintf b "\"bounds\":{\"checked\":%d,\"violations\":%s},"
+      bounds.Bounds.checked
+      (arr
+         (List.map
+            (fun viol -> str (Bounds.violation_to_string viol))
+            bounds.Bounds.violations));
+    Printf.bprintf b "\"footprint\":{\"levels\":%s,\"reuse\":%s},"
+      (arr
+         (Array.to_list
+            (Array.map
+               (fun (l : Footprint.level) -> string_of_int l.Footprint.elements)
+               fp.Footprint.levels)))
+      (arr
+         (List.init n (fun k ->
+              string_of_int (Footprint.reuse_distance fp k))));
+    Printf.bprintf b "\"diagnostics\":%s}"
+      (arr
+         (List.map
+            (fun (d : Nest_lint.diagnostic) ->
+              Printf.sprintf "{\"severity\":%s,\"loc\":%s,\"message\":%s}"
+                (str (Nest_lint.severity_label d.Nest_lint.severity))
+                (str d.Nest_lint.loc) (str d.Nest_lint.message))
+            diags));
+    (Buffer.contents b, Nest_lint.has_error diags)
+  in
   let analyze_one ~ci target =
     let nest = nest_of_target target in
     Format.printf "=== %s (%s) ===@." target nest.Loop_nest.name;
@@ -917,6 +1002,20 @@ let analyze_cmd =
         (Printf.sprintf "interchange %%%d<->%%%d" k (k + 1))
         (yn v.Legality.interchange.(k))
     done;
+    let fp = Footprint.analyze nest in
+    Format.printf "@.footprint (distinct elements touched):@.";
+    Array.iter
+      (fun (l : Footprint.level) ->
+        Format.printf "  depth %d: %d%s@." l.Footprint.depth
+          l.Footprint.elements
+          (if l.Footprint.depth = 0 then "  (whole nest)"
+           else if l.Footprint.depth = n then "  (one body execution)"
+           else ""))
+      fp.Footprint.levels;
+    for k = 0 to n - 1 do
+      Format.printf "  reuse distance loop %%%d: %d@." k
+        (Footprint.reuse_distance fp k)
+    done;
     let diags = Nest_lint.run nest in
     Format.printf "@.lint (%d):@." (List.length diags);
     if diags = [] then Format.printf "  (clean)@."
@@ -930,7 +1029,19 @@ let analyze_cmd =
       exit 1
     end
   in
-  let run targets ci = List.iter (analyze_one ~ci) targets in
+  let run targets ci json =
+    if json then begin
+      (* Machine-readable mode: one JSON array on stdout, nothing else.
+         All targets are analyzed (and printed) before --ci exits. *)
+      let results =
+        List.map (fun t -> json_of_target t (nest_of_target t)) targets
+      in
+      print_string
+        ("[" ^ String.concat ",\n" (List.map fst results) ^ "]\n");
+      if ci && List.exists snd results then exit 1
+    end
+    else List.iter (analyze_one ~ci) targets
+  in
   let targets_arg =
     Arg.(
       non_empty & pos_all string []
@@ -945,12 +1056,32 @@ let analyze_cmd =
       & info [ "ci" ]
           ~doc:"Exit non-zero when lint reports an Error-severity diagnostic")
   in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one JSON array on stdout (diagnostics, legality verdicts, \
+             bounds report, footprint summary) instead of the human-readable \
+             report")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
-         "Print dependences, direction vectors, per-action legality and lint \
-          diagnostics for operations or loop-nest files")
-    Term.(const run $ targets_arg $ ci_arg)
+         "Print dependences, direction vectors, per-action legality, bounds, \
+          footprint and lint diagnostics for operations or loop-nest files"
+       ~man:
+         [
+           `S Manpage.s_exit_status;
+           `P
+             "Exit codes are stable and suitable for CI gating: $(b,0) — \
+              every target analyzed and (with $(b,--ci)) no Error-severity \
+              diagnostics; $(b,1) — $(b,--ci) was given and at least one \
+              target has an Error-severity diagnostic (in $(b,--json) mode \
+              the full array is still printed first); $(b,2) — a target \
+              failed to parse (bad op spec or IR file).";
+         ])
+    Term.(const run $ targets_arg $ ci_arg $ json_arg)
 
 (* --- play: interactive environment session --- *)
 

@@ -1,0 +1,191 @@
+type buffer_footprint = { fb_buf : string; fb_elements : int }
+
+type level = {
+  depth : int;
+  per_buffer : buffer_footprint list;
+  elements : int;
+}
+
+type t = { n_loops : int; levels : level array }
+
+(* References that resolve against the buffer declarations (declared
+   buffer, matching ranks and arity). Anything else is a validation
+   problem that Bounds / Nest_lint reports; the footprint just skips
+   it. Structurally identical references (same buffer, same subscript
+   expressions) are collapsed so e.g. the load and store of an
+   accumulator count its cell once. *)
+let resolved_refs (nest : Loop_nest.t) =
+  let n = Loop_nest.n_loops nest in
+  let ok (r : Loop_nest.mem_ref) =
+    match List.assoc_opt r.Loop_nest.buf nest.Loop_nest.buffers with
+    | None -> false
+    | Some shape ->
+        Array.length r.Loop_nest.idx = Array.length shape
+        && Array.for_all
+             (fun (e : Affine.expr) -> Array.length e.Affine.coeffs = n)
+             r.Loop_nest.idx
+  in
+  let same (a : Loop_nest.mem_ref) (b : Loop_nest.mem_ref) =
+    a.Loop_nest.buf = b.Loop_nest.buf
+    && Array.length a.Loop_nest.idx = Array.length b.Loop_nest.idx
+    && Array.for_all2 Affine.equal_expr a.Loop_nest.idx b.Loop_nest.idx
+  in
+  List.fold_left
+    (fun acc r ->
+      if ok r && not (List.exists (same r) acc) then r :: acc else acc)
+    []
+    (Loop_nest.stores_of_body nest @ Loop_nest.loads_of_body nest)
+  |> List.rev
+
+let box_elements ~vary ~trip_counts shape (r : Loop_nest.mem_ref) =
+  let total = ref 1 in
+  Array.iteri
+    (fun d e ->
+      let iv = Bounds.expr_interval ~vary ~trip_counts e in
+      let width = min (iv.Bounds.hi - iv.Bounds.lo + 1) shape.(d) in
+      total := !total * max 1 width)
+    r.Loop_nest.idx;
+  !total
+
+let analyze (nest : Loop_nest.t) =
+  let n = Loop_nest.n_loops nest in
+  let trip_counts = Loop_nest.trip_counts nest in
+  let refs = resolved_refs nest in
+  let level depth =
+    let vary = Array.init n (fun i -> i >= depth) in
+    let per_buffer =
+      List.filter_map
+        (fun (buf, shape) ->
+          let boxes =
+            List.filter_map
+              (fun (r : Loop_nest.mem_ref) ->
+                if r.Loop_nest.buf = buf then
+                  Some (box_elements ~vary ~trip_counts shape r)
+                else None)
+              refs
+          in
+          match boxes with
+          | [] -> None
+          | _ ->
+              let size = Array.fold_left ( * ) 1 shape in
+              let sum = List.fold_left ( + ) 0 boxes in
+              Some { fb_buf = buf; fb_elements = min sum size })
+        nest.Loop_nest.buffers
+    in
+    {
+      depth;
+      per_buffer;
+      elements = List.fold_left (fun a b -> a + b.fb_elements) 0 per_buffer;
+    }
+  in
+  { n_loops = n; levels = Array.init (n + 1) level }
+
+let level_elements t d =
+  t.levels.(max 0 (min t.n_loops d)).elements
+
+let reuse_distance t d = level_elements t (d + 1)
+
+let predicted_misses t ~trip_counts ~cache_elements ~line_elements =
+  let line = float_of_int (max 1 line_elements) in
+  (* Shallowest depth whose working set fits; footprints only shrink as
+     depth grows, so scan outside-in. *)
+  let fit = ref t.n_loops in
+  (try
+     for d = 0 to t.n_loops do
+       if level_elements t d <= cache_elements then begin
+         fit := d;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let outer_iters = ref 1.0 in
+  for i = 0 to !fit - 1 do
+    if i < Array.length trip_counts then
+      outer_iters := !outer_iters *. float_of_int trip_counts.(i)
+  done;
+  !outer_iters *. float_of_int (level_elements t !fit) /. line
+
+(* --- buffer regions and overlap ----------------------------------- *)
+
+type region = Bounds.interval array
+
+let accessed_region (nest : Loop_nest.t) ~kind buf =
+  let trip_counts = Loop_nest.trip_counts nest in
+  let n = Loop_nest.n_loops nest in
+  let refs =
+    match kind with
+    | `Read -> Loop_nest.loads_of_body nest
+    | `Write -> Loop_nest.stores_of_body nest
+    | `Any -> Loop_nest.stores_of_body nest @ Loop_nest.loads_of_body nest
+  in
+  let boxes =
+    List.filter_map
+      (fun (r : Loop_nest.mem_ref) ->
+        if
+          r.Loop_nest.buf = buf
+          && Array.for_all
+               (fun (e : Affine.expr) -> Array.length e.Affine.coeffs = n)
+               r.Loop_nest.idx
+        then
+          Some
+            (Array.map
+               (fun e -> Bounds.expr_interval ~trip_counts e)
+               r.Loop_nest.idx)
+        else None)
+      refs
+  in
+  match boxes with
+  | [] -> None
+  | first :: rest ->
+      if List.exists (fun b -> Array.length b <> Array.length first) rest then
+        None
+      else
+        Some
+          (List.fold_left
+             (fun acc b ->
+               Array.map2
+                 (fun (a : Bounds.interval) (x : Bounds.interval) ->
+                   { Bounds.lo = min a.Bounds.lo x.Bounds.lo;
+                     hi = max a.Bounds.hi x.Bounds.hi })
+                 acc b)
+             first rest)
+
+let regions_overlap a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun (x : Bounds.interval) (y : Bounds.interval) ->
+         x.Bounds.lo <= y.Bounds.hi && y.Bounds.lo <= x.Bounds.hi)
+       a b
+
+let region_contains ~outer ~inner =
+  Array.length outer = Array.length inner
+  && Array.for_all2
+       (fun (o : Bounds.interval) (i : Bounds.interval) ->
+         o.Bounds.lo <= i.Bounds.lo && i.Bounds.hi <= o.Bounds.hi)
+       outer inner
+
+type overlap = Disjoint | Partial | Covers
+
+let overlap_to_string = function
+  | Disjoint -> "disjoint"
+  | Partial -> "partial"
+  | Covers -> "covers"
+
+type pc_verdict = { pc_buf : string; pc_overlap : overlap }
+
+let producer_consumer ~producer ~consumer =
+  List.filter_map
+    (fun (buf, _) ->
+      match
+        ( accessed_region producer ~kind:`Write buf,
+          accessed_region consumer ~kind:`Read buf )
+      with
+      | Some w, Some r ->
+          let pc_overlap =
+            if not (regions_overlap w r) then Disjoint
+            else if region_contains ~outer:w ~inner:r then Covers
+            else Partial
+          in
+          Some { pc_buf = buf; pc_overlap }
+      | _ -> None)
+    consumer.Loop_nest.buffers

@@ -1,0 +1,87 @@
+(** Per-loop-level data footprint, reuse distance, and buffer-overlap
+    (alias) analysis.
+
+    For each nesting depth [d] (0 = whole nest, [n_loops] = one body
+    execution) the pass computes how many distinct buffer elements one
+    execution of the subtree at that depth touches, with the outer
+    iterators [0..d-1] pinned at an arbitrary value and the inner
+    iterators [d..n-1] ranging over their trip counts. Each reference
+    contributes the bounding box of its subscript intervals
+    ({!Bounds.expr_interval} restricted to the varying iterators);
+    references with structurally identical subscripts are deduplicated
+    and the per-buffer total is capped at the buffer size, so the
+    result is a sound over-approximation of the true distinct-element
+    count (exact for the dense single-reference accesses produced by
+    {!Lower}).
+
+    The per-level footprints feed three consumers: a working-set cache
+    miss predictor cross-checked against {!Cache_sim} (see the test
+    suite), optional {!Observation} features, and the producer/consumer
+    region-overlap verdict the fusion work needs. *)
+
+type buffer_footprint = { fb_buf : string; fb_elements : int }
+
+type level = {
+  depth : int;  (** iterators [depth..n-1] vary, [0..depth-1] pinned *)
+  per_buffer : buffer_footprint list;  (** in buffer-declaration order *)
+  elements : int;  (** total distinct elements touched at this depth *)
+}
+
+type t = {
+  n_loops : int;
+  levels : level array;  (** [n_loops + 1] entries, index = depth *)
+}
+
+val analyze : Loop_nest.t -> t
+
+val level_elements : t -> int -> int
+(** [level_elements t d] — total footprint at depth [d]; clamped to the
+    valid range, so [d > n_loops] returns the body footprint. *)
+
+val reuse_distance : t -> int -> int
+(** [reuse_distance t d] — distinct elements touched between successive
+    iterations of loop [d], i.e. the footprint of depth [d + 1]. Loop-
+    carried reuse at depth [d] survives in a cache of at least this
+    many elements. *)
+
+val predicted_misses :
+  t -> trip_counts:int array -> cache_elements:int -> line_elements:int -> float
+(** Analytic working-set miss count for an LRU cache holding
+    [cache_elements] elements with [line_elements]-element lines: find
+    the shallowest depth [l] whose footprint fits the cache; everything
+    below [l] hits after the first touch, so misses ≈ (product of trip
+    counts above [l]) × footprint(l) ÷ line size. A coarse model — its
+    job is to rank schedules the same way {!Cache_sim} does, not to
+    match absolute counts. *)
+
+(** {1 Buffer regions and overlap} *)
+
+type region = Bounds.interval array
+(** Per-dimension inclusive subscript intervals — the bounding box of
+    the elements a nest touches in one buffer. *)
+
+val accessed_region :
+  Loop_nest.t -> kind:[ `Read | `Write | `Any ] -> string -> region option
+(** Union bounding box over the nest's references to the named buffer
+    of the given kind; [None] when the buffer has no such (structurally
+    resolvable) reference. *)
+
+val regions_overlap : region -> region -> bool
+val region_contains : outer:region -> inner:region -> bool
+
+type overlap = Disjoint | Partial | Covers
+
+(** Producer/consumer verdict for one shared buffer: how the producer's
+    written region relates to the consumer's read region. [Covers]
+    (every element the consumer reads was written by the producer) is
+    the fusion-friendly case; [Partial] means the consumer also reads
+    elements the producer never defined; [Disjoint] means the shared
+    name carries no actual data flow. *)
+type pc_verdict = { pc_buf : string; pc_overlap : overlap }
+
+val producer_consumer :
+  producer:Loop_nest.t -> consumer:Loop_nest.t -> pc_verdict list
+(** One verdict per buffer the producer writes and the consumer reads
+    (matched by name), in consumer buffer-declaration order. *)
+
+val overlap_to_string : overlap -> string

@@ -28,6 +28,20 @@ let run (nest : Loop_nest.t) =
   (match Loop_nest.validate nest with
   | Ok () -> ()
   | Error msg -> emit (diag Error name "%s" msg));
+  (* 1b. Every out-of-bounds access, individually. [validate] reports
+     only the first problem it meets; the interval analysis visits all
+     references, so a broken tile/pad shows each offending access. The
+     two use identical corner arithmetic, so these errors appear only
+     when validate already failed above — the has_error-iff-validate
+     invariant is preserved. *)
+  let bounds = Bounds.analyze nest in
+  List.iter
+    (fun (v : Bounds.violation) ->
+      emit
+        (diag Error
+           (name ^ "/" ^ v.Bounds.v_buf)
+           "out-of-bounds access: %s" (Bounds.violation_to_string v)))
+    bounds.Bounds.violations;
   let loads = Loop_nest.loads_of_body nest in
   let stores = Loop_nest.stores_of_body nest in
   let loaded b = List.exists (fun (r : Loop_nest.mem_ref) -> r.Loop_nest.buf = b) loads in
@@ -88,4 +102,51 @@ let run (nest : Loop_nest.t) =
               subscript pattern: the dependence is coupled, so the analysis \
               is likely conservative here"))
     stores;
+  (* Loop indices that no subscript reads, and stores they shadow. A
+     multi-trip loop whose index appears in no access repeats identical
+     work; a store whose subscript ignores such a varying loop is
+     overwritten by every later iteration — unless the statement also
+     loads the stored cell (a reduction accumulator, which is the
+     legitimate shape of exactly this pattern). *)
+  let uses_index (r : Loop_nest.mem_ref) i =
+    Array.exists
+      (fun (e : Affine.expr) ->
+        i < Array.length e.Affine.coeffs && e.Affine.coeffs.(i) <> 0)
+      r.Loop_nest.idx
+  in
+  let accumulator (Loop_nest.Store (r, rhs)) =
+    List.exists
+      (fun (l : Loop_nest.mem_ref) ->
+        l.Loop_nest.buf = r.Loop_nest.buf
+        && Array.length l.Loop_nest.idx = Array.length r.Loop_nest.idx
+        && Array.for_all2 Affine.equal_expr l.Loop_nest.idx r.Loop_nest.idx)
+      (List.rev (Loop_nest.refs_of_sexpr [] rhs))
+  in
+  Array.iteri
+    (fun i (l : Loop_nest.loop) ->
+      if l.Loop_nest.ub > 1 then begin
+        let used_anywhere =
+          List.exists (fun r -> uses_index r i) (stores @ loads)
+        in
+        if not used_anywhere then
+          emit
+            (diag Warning
+               (Printf.sprintf "%s/loop %d" name i)
+               "unused loop index: no access reads it, so all %d iterations \
+                repeat identical work"
+               l.Loop_nest.ub)
+        else
+          List.iter
+            (fun (Loop_nest.Store (r, _) as st) ->
+              if (not (uses_index r i)) && not (accumulator st) then
+                emit
+                  (diag Warning
+                     (name ^ "/" ^ r.Loop_nest.buf)
+                     "shadowed store: the subscript ignores loop %d, so each \
+                      of its %d iterations overwrites the previous one's \
+                      result without reading it"
+                     i l.Loop_nest.ub))
+            nest.Loop_nest.body
+      end)
+    nest.Loop_nest.loops;
   List.rev !out

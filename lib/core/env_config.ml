@@ -22,6 +22,16 @@ type t = {
   static_legality : bool;
       (* intersect the paper's syntactic masks with the static
          dependence-analysis verdicts (lib/analysis) *)
+  verify_transforms : bool;
+      (* run the post-transform Verifier after every accepted
+         transformation *)
+  sanitize : bool;
+      (* differentially execute transformed nests against their
+         originals at measurement time *)
+  footprint_features : bool;
+      (* append per-level footprint / reuse-distance features to the
+         observation; changes obs_dim, so off by default to keep
+         checkpoints and network shapes stable *)
 }
 
 let all_features =
@@ -46,16 +56,38 @@ let default =
     machine = Machine.e5_2680_v4;
     features = all_features;
     static_legality = true;
+    (* The env-var defaults keep the flags in sync with the process-wide
+       toggles in lib/analysis, so MLIR_RL_VERIFY=1 / MLIR_RL_SANITIZE=1
+       turn the checks on everywhere without threading a config. *)
+    verify_transforms =
+      (match Sys.getenv_opt "MLIR_RL_VERIFY" with
+      | Some ("1" | "true" | "yes") -> true
+      | Some _ | None -> false);
+    sanitize =
+      (match Sys.getenv_opt "MLIR_RL_SANITIZE" with
+      | Some ("1" | "true" | "yes") -> true
+      | Some _ | None -> false);
+    footprint_features = false;
   }
 
 let with_reward_mode reward_mode t = { t with reward_mode }
 let with_static_legality static_legality t = { t with static_legality }
+let with_verify verify_transforms t = { t with verify_transforms }
+let with_sanitize sanitize t = { t with sanitize }
+
+let with_footprint_features footprint_features t =
+  { t with footprint_features }
 
 let n_tile_choices t = t.n_tile_slots
 
 let obs_dim t =
   let n = t.n_max in
-  n + (t.l_max * t.d_max * (n + 1)) + (t.d_max * (n + 1)) + 6 + (n * 3 * t.tau)
+  n
+  + (t.l_max * t.d_max * (n + 1))
+  + (t.d_max * (n + 1))
+  + 6
+  + (n * 3 * t.tau)
+  + (if t.footprint_features then 2 * n else 0)
 
 let n_transformations = 5
 

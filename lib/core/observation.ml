@@ -78,6 +78,28 @@ let history (cfg : Env_config.t) (state : Sched_state.t) =
     state.Sched_state.applied;
   out
 
+(* Per-level footprint and reuse-distance features, aligned to the
+   point band like the other per-loop blocks: slot j is the data
+   footprint of one execution of the subtree under point loop j, slot
+   n_max + j the reuse distance carried by that loop. Log-scaled the
+   same way as trip counts. *)
+let footprint_feats (cfg : Env_config.t) (state : Sched_state.t) =
+  let n = cfg.Env_config.n_max in
+  let out = Array.make (2 * n) 0.0 in
+  let nest = state.Sched_state.nest in
+  let fp = Footprint.analyze nest in
+  let band_start = Loop_transforms.point_band_start nest in
+  let band = Loop_transforms.point_band nest in
+  let norm e = log2 (1.0 +. float_of_int e) /. 32.0 in
+  Array.iteri
+    (fun j _ ->
+      if j < n then begin
+        out.(j) <- norm (Footprint.level_elements fp (band_start + j));
+        out.(n + j) <- norm (Footprint.reuse_distance fp (band_start + j))
+      end)
+    band;
+  out
+
 let math_counts (state : Sched_state.t) =
   Array.map
     (fun c -> float_of_int c /. 4.0)
@@ -111,4 +133,9 @@ let extract (cfg : Env_config.t) (state : Sched_state.t) =
         gate f.Env_config.use_math_counts (fun () -> math_counts state) 6;
         gate f.Env_config.use_history (fun () -> history cfg state)
           (cfg.Env_config.n_max * 3 * cfg.Env_config.tau);
-      ])
+      ]
+    (* Unlike the gated blocks above, this one changes the observation
+       LENGTH, not just its contents — absent entirely unless the
+       config opted in (see Env_config.obs_dim). *)
+    @ (if cfg.Env_config.footprint_features then [ footprint_feats cfg state ]
+       else []))

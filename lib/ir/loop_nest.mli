@@ -53,6 +53,10 @@ val validate : t -> (unit, string) result
 val buffer_shape : t -> string -> int array
 (** Raises [Not_found] for an undeclared buffer. *)
 
+val refs_of_sexpr : mem_ref list -> sexpr -> mem_ref list
+(** [refs_of_sexpr acc e] prepends the load references of [e] to [acc]
+    in reverse evaluation order. *)
+
 val loads_of_body : t -> mem_ref list
 (** All load references appearing in the body, in evaluation order. *)
 

@@ -119,6 +119,12 @@ let pure_state_seconds t (state : Sched_state.t) =
 
 let state_seconds t (state : Sched_state.t) =
   t.explored <- t.explored + 1;
+  (* Differential sanitizer (MLIR_RL_SANITIZE): every measurement path —
+     train, autosched, serve — funnels through here, so this one hook
+     covers them all. The digest-pair dedup inside sanitize_state keeps
+     it to one interpretation per distinct transformed nest per process;
+     when disabled the cost is a single atomic load. *)
+  if Sanitizer.enabled () then ignore (Differential.sanitize_state state);
   jitter t (pure_state_seconds t state)
 
 let measure t state =

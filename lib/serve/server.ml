@@ -269,7 +269,20 @@ let stats_body t =
     | None -> ""
     | Some st -> " " ^ pair "state" st
   in
-  extra ^ " " ^ eval_extra ^ " " ^ Metrics.stats_line t.metrics
+  (* Verifier / differential-sanitizer counters (process-global in
+     lib/analysis; populated only when MLIR_RL_VERIFY / MLIR_RL_SANITIZE
+     enabled them, otherwise all zero). *)
+  let analysis_extra =
+    let v = Verifier.stats () in
+    let s = Sanitizer.stats () in
+    Printf.sprintf
+      "verify_checks=%d verify_violations=%d sanitize_runs=%d \
+       sanitize_skips=%d sanitize_violations=%d"
+      v.Verifier.checks v.Verifier.violations s.Sanitizer.runs
+      s.Sanitizer.skips s.Sanitizer.violations
+  in
+  extra ^ " " ^ eval_extra ^ " " ^ analysis_extra ^ " "
+  ^ Metrics.stats_line t.metrics
 
 (* Evaluator-cache counters appended to the Prometheus dump, read at
    render time from the shared sharded-cache counters. *)
@@ -292,6 +305,13 @@ let eval_cache_metrics t =
   in
   cache "base" s.Evaluator.base;
   (match s.Evaluator.state with None -> () | Some st -> cache "state" st);
+  let v = Verifier.stats () in
+  let sz = Sanitizer.stats () in
+  counter "serve_verify_checks_total" v.Verifier.checks;
+  counter "serve_verify_violations_total" v.Verifier.violations;
+  counter "serve_sanitize_runs_total" sz.Sanitizer.runs;
+  counter "serve_sanitize_skips_total" sz.Sanitizer.skips;
+  counter "serve_sanitize_violations_total" sz.Sanitizer.violations;
   Buffer.contents b
 
 let submit t (req : Protocol.request) reply =

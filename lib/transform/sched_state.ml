@@ -111,12 +111,21 @@ let record state tr nest =
   (* The digest is refreshed here, once per accepted transformation —
      every evaluation of the resulting state then gets an O(1) cache
      key instead of re-hashing (or worse, re-printing) the nest. *)
-  {
-    state with
-    nest;
-    nest_digest = Loop_nest.digest nest;
-    applied = state.applied @ [ tr ];
-  }
+  let state' =
+    {
+      state with
+      nest;
+      nest_digest = Loop_nest.digest nest;
+      applied = state.applied @ [ tr ];
+    }
+  in
+  (* Post-transform verifier (MLIR_RL_VERIFY): independently re-proves
+     the accepted state well-formed — validate, bounds soundness, and
+     the digest the state will be cached under. Raises
+     Verifier.Violation at the transformation that broke the nest. *)
+  if Verifier.enabled () then
+    Verifier.run ~expected_digest:state'.nest_digest state'.nest;
+  state'
 
 (* Point loops whose op dim is a reduction cannot run in parallel: that
    would race on the accumulator (MLIR's tile_using_forall rejects it). *)
@@ -169,12 +178,15 @@ let apply state (tr : Schedule.transformation) =
           | Ok (gemm, `Packing_elements elems) ->
               let nest = Lower.to_loop_nest gemm in
               if !certify then certificate_check state.nest tr nest;
+              let nest_digest = Loop_nest.digest nest in
+              if Verifier.enabled () then
+                Verifier.run ~expected_digest:nest_digest nest;
               Ok
                 {
                   state with
                   op = gemm;
                   nest;
-                  nest_digest = Loop_nest.digest nest;
+                  nest_digest;
                   applied = state.applied @ [ tr ];
                   packing_elements = elems;
                 })
