@@ -1,0 +1,383 @@
+(* Tensor-kernel benchmark and smoke gate.
+
+   Three jobs in one experiment:
+
+   1. Kernel timings: the pre-PR float-array naive matmul (reimplemented
+      here as the reference) vs. the cache-blocked Bigarray [Tensor.matmul]
+      vs. the destination-passing [matmul_into] drawing from a workspace.
+      Every timed pair is also checked for bitwise equality — the blocked
+      kernels preserve the naive accumulation order by construction.
+   2. Bit-identity sweep: every [_into] kernel against its allocating
+      twin on shapes chosen to hit the unroll/tile remainders, across a
+      range of matmul block sizes.
+   3. Training throughput after the rewrite, next to the committed
+      pre-PR baseline (commit 26afbad, same machine class), with GC
+      stats — the ISSUE's >= 3x episodes/sec acceptance number.
+
+   The full run writes BENCH_tensor.json; CI runs `--quick tensor` and
+   greps for the "kernel smoke:" lines (any FAIL fails the gate). *)
+
+let fill rng (t : Tensor.t) =
+  for i = 0 to Tensor.numel t - 1 do
+    Tensor.unsafe_set t i (Util.Rng.gaussian rng)
+  done
+
+(* The pre-PR kernel: float arrays, naive i-p-j loop with memory
+   accumulation. The blocked Bigarray kernels promise bit-identity to
+   exactly this chain (per cell: products added in ascending p). *)
+let ref_matmul a b ~m ~k ~n =
+  let out = Array.make (m * n) 0.0 in
+  for i = 0 to m - 1 do
+    let arow = i * k and orow = i * n in
+    for p = 0 to k - 1 do
+      let av = a.(arow + p) in
+      let brow = p * n in
+      for j = 0 to n - 1 do
+        out.(orow + j) <- out.(orow + j) +. (av *. b.(brow + j))
+      done
+    done
+  done;
+  out
+
+let time_best ~reps ~iters f =
+  let best = ref infinity in
+  for _ = 1 to reps do
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    let d = (Unix.gettimeofday () -. t0) /. float_of_int iters in
+    if d < !best then best := d
+  done;
+  !best
+
+type kernel_row = {
+  m : int;
+  k : int;
+  n : int;
+  naive_us : float;
+  blocked_us : float;
+  into_us : float;
+  bit_identical : bool;
+}
+
+let smoke_failures = ref 0
+
+let smoke name ok =
+  if not ok then incr smoke_failures;
+  Printf.printf "kernel smoke: %s %s\n" (if ok then "PASS" else "FAIL") name;
+  ok
+
+(* -- 1. timings -------------------------------------------------------- *)
+
+let kernel_timings ~sizes =
+  Bench_common.subheading
+    "matmul: naive float-array reference vs blocked vs into (+workspace)";
+  Printf.printf "%14s %12s %12s %12s %10s %10s  %s\n" "m x k x n" "naive (us)"
+    "blocked (us)" "into (us)" "blk spd" "into spd" "bitwise";
+  let ws = Tensor.Workspace.create () in
+  List.map
+    (fun (m, k, n) ->
+      let rng = Util.Rng.create 42 in
+      let a = Tensor.zeros [| m; k |] and b = Tensor.zeros [| k; n |] in
+      fill rng a;
+      fill rng b;
+      let fa = Tensor.to_array a and fb = Tensor.to_array b in
+      let iters = max 1 (2_000_000 / (m * k * n)) and reps = 5 in
+      let naive_us =
+        1e6 *. time_best ~reps ~iters (fun () -> ignore (ref_matmul fa fb ~m ~k ~n))
+      in
+      let blocked_us =
+        1e6 *. time_best ~reps ~iters (fun () -> ignore (Tensor.matmul a b))
+      in
+      let into_us =
+        1e6
+        *. time_best ~reps ~iters (fun () ->
+               Tensor.Workspace.reset ws;
+               ignore
+                 (Tensor.matmul_into ~dst:(Tensor.Workspace.get ws [| m; n |]) a b))
+      in
+      let blocked = Tensor.matmul a b in
+      let bit_identical =
+        Tensor.equal blocked (Tensor.of_array [| m; n |] (ref_matmul fa fb ~m ~k ~n))
+        && Tensor.equal blocked
+             (Tensor.matmul_into ~dst:(Tensor.zeros [| m; n |]) a b)
+      in
+      Printf.printf "%4dx%4dx%4d %12.1f %12.1f %12.1f %9.2fx %9.2fx  %s\n" m k n
+        naive_us blocked_us into_us (naive_us /. blocked_us)
+        (naive_us /. into_us)
+        (if bit_identical then "identical" else "MISMATCH");
+      { m; k; n; naive_us; blocked_us; into_us; bit_identical })
+    sizes
+
+(* -- 2. bit-identity sweep --------------------------------------------- *)
+
+(* Shapes chosen to exercise the blocked kernels' edges: tile remainders
+   (block size does not divide m/n/k), the 4-wide j and k unrolls of the
+   transpose-b backward kernel, and single-row/column degenerate cases. *)
+let odd_shapes = [ (1, 1, 1); (3, 5, 2); (5, 7, 3); (17, 13, 9); (33, 65, 17); (64, 64, 64) ]
+
+let identity_sweep () =
+  Bench_common.subheading
+    "bit-identity: _into kernels vs allocating twins, across block sizes";
+  let saved_block = Tensor.matmul_block () in
+  let mismatches = ref [] in
+  let check name ok = if not ok then mismatches := name :: !mismatches in
+  let pairs = ref 0 in
+  let eq name x y =
+    incr pairs;
+    check name (Tensor.equal x y)
+  in
+  List.iter
+    (fun block ->
+      Tensor.set_matmul_block block;
+      List.iter
+        (fun (m, k, n) ->
+          let rng = Util.Rng.create (1000 + m + k + n) in
+          let a = Tensor.zeros [| m; k |] and b = Tensor.zeros [| k; n |] in
+          fill rng a;
+          fill rng b;
+          let tag op = Printf.sprintf "%s %dx%dx%d block=%d" op m k n block in
+          let fa = Tensor.to_array a and fb = Tensor.to_array b in
+          eq (tag "matmul=naive") (Tensor.matmul a b)
+            (Tensor.of_array [| m; n |] (ref_matmul fa fb ~m ~k ~n));
+          eq (tag "matmul_into")
+            (Tensor.matmul_into ~dst:(Tensor.zeros [| m; n |]) a b)
+            (Tensor.matmul a b);
+          (* a : [k; m] in the transpose-a product, reuse shapes. *)
+          let at = Tensor.transpose a in
+          eq (tag "matmul_transpose_a_into")
+            (Tensor.matmul_transpose_a_into ~dst:(Tensor.zeros [| m; n |]) at b)
+            (Tensor.matmul_transpose_a at b);
+          let bt = Tensor.transpose b in
+          eq (tag "matmul_transpose_b_into")
+            (Tensor.matmul_transpose_b_into ~dst:(Tensor.zeros [| m; n |]) a bt)
+            (Tensor.matmul_transpose_b a bt);
+          let addto = Tensor.zeros [| m; n |] in
+          Tensor.matmul_transpose_b_addto ~dst:addto a bt;
+          let via_alloc = Tensor.zeros [| m; n |] in
+          Tensor.add_inplace via_alloc (Tensor.matmul_transpose_b a bt);
+          eq (tag "matmul_transpose_b_addto") addto via_alloc;
+          eq (tag "transpose_into")
+            (Tensor.transpose_into ~dst:(Tensor.zeros [| k; m |]) a)
+            (Tensor.transpose a))
+        odd_shapes)
+    [ 4; 8; 16; 32; 48; 64 ];
+  Tensor.set_matmul_block saved_block;
+  (* Elementwise / reduction twins: block size is irrelevant, one shape
+     with odd dimensions suffices. *)
+  let m = 17 and n = 13 in
+  let rng = Util.Rng.create 7 in
+  let x = Tensor.zeros [| m; n |] and y = Tensor.zeros [| m; n |] in
+  let bias = Tensor.zeros [| n |] in
+  fill rng x;
+  fill rng y;
+  fill rng bias;
+  let d () = Tensor.zeros [| m; n |] in
+  let eqt name a b = incr pairs; check name (Tensor.equal a b) in
+  eqt "add_into" (Tensor.add_into ~dst:(d ()) x y) (Tensor.add x y);
+  eqt "sub_into" (Tensor.sub_into ~dst:(d ()) x y) (Tensor.sub x y);
+  eqt "mul_into" (Tensor.mul_into ~dst:(d ()) x y) (Tensor.mul x y);
+  eqt "scale_into" (Tensor.scale_into 0.37 ~dst:(d ()) x) (Tensor.scale 0.37 x);
+  eqt "relu_into" (Tensor.relu_into ~dst:(d ()) x) (Tensor.relu x);
+  eqt "add_bias_into" (Tensor.add_bias_into ~dst:(d ()) x bias)
+    (Tensor.add_bias x bias);
+  eqt "slice_cols_into"
+    (Tensor.slice_cols_into ~dst:(Tensor.zeros [| m; 5 |]) x ~lo:3 ~hi:8)
+    (Tensor.slice_cols x ~lo:3 ~hi:8);
+  eqt "sum_rows_into" (Tensor.sum_rows_into ~dst:(Tensor.zeros [| m |]) x)
+    (Tensor.sum_rows x);
+  eqt "map_into"
+    (Tensor.map_into (fun v -> exp v) ~dst:(d ()) x)
+    (Tensor.map (fun v -> exp v) x);
+  eqt "map2_into"
+    (Tensor.map2_into Float.min ~dst:(d ()) x y)
+    (Tensor.map2 Float.min x y);
+  Printf.printf "%d kernel pairs checked, %d mismatches\n" !pairs
+    (List.length !mismatches);
+  List.iter (fun name -> Printf.printf "  MISMATCH: %s\n" name) !mismatches;
+  (!pairs, !mismatches)
+
+(* -- 3. allocation profile --------------------------------------------- *)
+
+let alloc_profile () =
+  Bench_common.subheading "minor-heap allocation per matmul call (64x64x64)";
+  let rng = Util.Rng.create 11 in
+  let a = Tensor.zeros [| 64; 64 |] and b = Tensor.zeros [| 64; 64 |] in
+  fill rng a;
+  fill rng b;
+  let ws = Tensor.Workspace.create () in
+  let words f =
+    f ();
+    (* warm-up: workspace slot + any one-time boxing *)
+    let w0 = Gc.minor_words () in
+    for _ = 1 to 100 do
+      f ()
+    done;
+    (Gc.minor_words () -. w0) /. 100.0
+  in
+  let alloc_w = words (fun () -> ignore (Tensor.matmul a b)) in
+  let into_w =
+    words (fun () ->
+        Tensor.Workspace.reset ws;
+        ignore (Tensor.matmul_into ~dst:(Tensor.Workspace.get ws [| 64; 64 |]) a b))
+  in
+  Printf.printf
+    "allocating: %.0f words/call | into+workspace: %.0f words/call\n" alloc_w
+    into_w;
+  (alloc_w, into_w)
+
+(* -- 4. training throughput vs the pre-PR baseline --------------------- *)
+
+(* Measured at commit 26afbad (float-array tensors, allocating kernels,
+   default GC) on this container, `throughput` experiment, 6 iterations. *)
+let baseline_commit = "26afbad"
+let baseline_eps = [ (1, 72.2); (2, 64.9); (4, 52.5) ]
+let baseline_digest = "7fb8cb76a133"
+
+type train_row = {
+  jobs : int;
+  eps_per_s : float;
+  kwords_per_ep : float;
+  majors : int;
+  digest : string;
+}
+
+let training_after c ~iterations =
+  Bench_common.subheading
+    (Printf.sprintf "training throughput after the kernel rewrite (%d iterations)"
+       iterations);
+  Printf.printf "%6s %12s %12s %7s %12s  %s\n" "jobs" "eps/s" "kwords/ep"
+    "majors" "vs baseline" "digest";
+  List.map
+    (fun jobs ->
+      let stats, wall, (minor_w, _minors, majors), _cache =
+        Exp_throughput.train_once c ~jobs ~iterations
+      in
+      let episodes =
+        match List.rev stats with [] -> 0 | s :: _ -> s.Trainer.episodes
+      in
+      let eps_per_s = float_of_int episodes /. wall in
+      let kwords_per_ep = minor_w /. 1e3 /. float_of_int (max 1 episodes) in
+      let digest =
+        String.sub (Exp_throughput.stats_digest stats) 0 12
+      in
+      let base = List.assoc jobs baseline_eps in
+      Printf.printf "%6d %12.1f %12.1f %7d %11.2fx  %s\n" jobs eps_per_s
+        kwords_per_ep majors (eps_per_s /. base) digest;
+      { jobs; eps_per_s; kwords_per_ep; majors; digest })
+    [ 1; 2; 4 ]
+
+(* -- harness ----------------------------------------------------------- *)
+
+let json_of_results ~quick (kernels : kernel_row list) ~pairs ~mismatches
+    ~alloc_words ~into_words (after : train_row list) =
+  let b = Buffer.create 2048 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "{\n";
+  add "  \"bench\": \"tensor\",\n";
+  add "  \"mode\": \"%s\",\n" (if quick then "quick" else "full");
+  add "  \"matmul_block\": %d,\n" (Tensor.matmul_block ());
+  add "  \"kernels\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "    {\"m\": %d, \"k\": %d, \"n\": %d, \"naive_us\": %.1f, \
+         \"blocked_us\": %.1f, \"into_us\": %.1f, \"speedup_blocked\": %.2f, \
+         \"speedup_into\": %.2f, \"bit_identical\": %b}%s\n"
+        r.m r.k r.n r.naive_us r.blocked_us r.into_us
+        (r.naive_us /. r.blocked_us)
+        (r.naive_us /. r.into_us)
+        r.bit_identical
+        (if i = List.length kernels - 1 then "" else ","))
+    kernels;
+  add "  ],\n";
+  add "  \"bit_identity\": {\"pairs_checked\": %d, \"mismatches\": %d},\n" pairs
+    mismatches;
+  add
+    "  \"alloc\": {\"matmul_minor_words_per_call\": %.0f, \
+     \"matmul_into_minor_words_per_call\": %.0f},\n"
+    alloc_words into_words;
+  add "  \"training\": {\n";
+  add "    \"baseline_commit\": \"%s\",\n" baseline_commit;
+  add "    \"baseline_digest\": \"%s\",\n" baseline_digest;
+  add "    \"before\": [\n";
+  List.iteri
+    (fun i (jobs, eps) ->
+      add "      {\"jobs\": %d, \"eps_per_s\": %.1f}%s\n" jobs eps
+        (if i = List.length baseline_eps - 1 then "" else ","))
+    baseline_eps;
+  add "    ],\n";
+  add "    \"after\": [\n";
+  List.iteri
+    (fun i r ->
+      add
+        "      {\"jobs\": %d, \"eps_per_s\": %.1f, \"kwords_per_ep\": %.1f, \
+         \"majors\": %d, \"digest\": \"%s\"}%s\n"
+        r.jobs r.eps_per_s r.kwords_per_ep r.majors r.digest
+        (if i = List.length after - 1 then "" else ","))
+    after;
+  add "    ]";
+  (match List.find_opt (fun r -> r.jobs = 4) after with
+  | Some r ->
+      add ",\n    \"speedup_jobs4\": %.2f\n"
+        (r.eps_per_s /. List.assoc 4 baseline_eps)
+  | None -> add "\n");
+  add "  }\n";
+  add "}\n";
+  Buffer.contents b
+
+let run ?(quick = false) (c : Bench_common.config) =
+  Bench_common.heading "tensor kernels: blocked matmul, workspaces, GC profile";
+  smoke_failures := 0;
+  let sizes =
+    if quick then [ (32, 64, 32); (64, 64, 64); (64, 128, 128) ]
+    else [ (32, 64, 32); (64, 64, 64); (64, 128, 128); (128, 128, 128); (256, 256, 128) ]
+  in
+  let kernels = kernel_timings ~sizes in
+  let pairs, mismatches = identity_sweep () in
+  let alloc_words, into_words = alloc_profile () in
+  ignore
+    (smoke "blocked matmul bit-identical to naive float-array reference"
+       (List.for_all (fun r -> r.bit_identical) kernels));
+  ignore
+    (smoke "_into kernels bit-identical to allocating twins" (mismatches = []));
+  (* The big sizes are where blocking pays; tiny ones are noise-bound.
+     Gate on the largest benched size with 20% headroom for CI jitter. *)
+  let largest = List.nth kernels (List.length kernels - 1) in
+  ignore
+    (smoke
+       (Printf.sprintf "blocked matmul not slower than naive (%.2fx at %dx%dx%d)"
+          (largest.naive_us /. largest.blocked_us)
+          largest.m largest.k largest.n)
+       (largest.blocked_us <= largest.naive_us *. 1.2));
+  ignore
+    (smoke "into-kernel steady state allocates < 100 minor words per matmul"
+       (into_words < 100.0));
+  let after =
+    if quick then []
+    else training_after c ~iterations:6
+  in
+  (match List.find_opt (fun r -> r.jobs = 4) after with
+  | Some r ->
+      ignore
+        (smoke
+           (Printf.sprintf "train --jobs 4 at %.2fx the pre-PR baseline"
+              (r.eps_per_s /. List.assoc 4 baseline_eps))
+           (r.eps_per_s >= 3.0 *. List.assoc 4 baseline_eps));
+      ignore
+        (smoke "training digest unchanged by the kernel rewrite"
+           (List.for_all (fun r -> r.digest = baseline_digest) after))
+  | None -> ());
+  if not quick then begin
+    let json =
+      json_of_results ~quick kernels ~pairs
+        ~mismatches:(List.length mismatches) ~alloc_words ~into_words after
+    in
+    let path = "BENCH_tensor.json" in
+    Util.Atomic_file.write_string ~path json;
+    Printf.printf "\nwrote %s\n" path
+  end;
+  if !smoke_failures > 0 then
+    Printf.printf "tensor kernel smoke: %d FAILURES\n" !smoke_failures
+  else Printf.printf "tensor kernel smoke: all gates passed\n"

@@ -45,27 +45,41 @@ let train_once (c : Bench_common.config) ~jobs ~iterations =
       jobs;
     }
   in
+  let g0 = Gc.quick_stat () in
+  let w0 = Gc.minor_words () in
   let t0 = Unix.gettimeofday () in
   let stats = Trainer.train config env policy ~ops in
   let wall = Unix.gettimeofday () -. t0 in
-  (stats, wall, Evaluator.cache_stats (Env.evaluator env))
+  let g1 = Gc.quick_stat () in
+  let gc =
+    ( Gc.minor_words () -. w0,
+      g1.Gc.minor_collections - g0.Gc.minor_collections,
+      g1.Gc.major_collections - g0.Gc.major_collections )
+  in
+  (stats, wall, gc, Evaluator.cache_stats (Env.evaluator env))
 
 let training_throughput c ~iterations =
   Bench_common.subheading
     (Printf.sprintf "training throughput (%d iterations, fault rate 10%%, noise 2%%)"
        iterations)
   ;
-  Printf.printf "%6s %12s %14s %14s  %s\n" "jobs" "wall (s)" "episodes"
-    "episodes/s" "stats digest";
+  Printf.printf "%6s %12s %14s %14s %12s %7s  %s\n" "jobs" "wall (s)"
+    "episodes" "episodes/s" "kwords/ep" "majors" "stats digest";
   let base_rate = ref None in
   let base_digest = ref None in
   List.iter
     (fun jobs ->
-      let stats, wall, cache = train_once c ~jobs ~iterations in
+      let stats, wall, (minor_w, _minors, majors), cache =
+        train_once c ~jobs ~iterations
+      in
       let episodes =
         match List.rev stats with [] -> 0 | s :: _ -> s.Trainer.episodes
       in
       let rate = float_of_int episodes /. wall in
+      (* Minor-heap words allocated per episode on the main domain
+         (boxed floats, closures, lists — Bigarray payloads live off
+         the OCaml heap and are not counted). *)
+      let kw_per_ep = minor_w /. 1e3 /. float_of_int (max 1 episodes) in
       let digest = stats_digest stats in
       let speedup =
         match !base_rate with
@@ -81,8 +95,8 @@ let training_throughput c ~iterations =
             ""
         | Some d -> if d = digest then "  identical" else "  MISMATCH"
       in
-      Printf.printf "%6d %12.2f %14d %14.1f  %s%s%s\n" jobs wall episodes rate
-        (String.sub digest 0 12) same speedup;
+      Printf.printf "%6d %12.2f %14d %14.1f %12.1f %7d  %s%s%s\n" jobs wall
+        episodes rate kw_per_ep majors (String.sub digest 0 12) same speedup;
       if jobs = 4 then begin
         let base = cache.Evaluator.base in
         Bench_common.note

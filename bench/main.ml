@@ -13,7 +13,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [--fast|--quick] [table1] [table2] [fig5] [fig6] [fig7] [fig8] [ablation] [faults] [legality] [sanitize] [throughput] [serve] [fleet] [evalcache] [micro]";
+    "usage: main.exe [--fast|--quick] [table1] [table2] [fig5] [fig6] [fig7] [fig8] [ablation] [faults] [legality] [sanitize] [throughput] [tensor] [serve] [fleet] [evalcache] [micro]";
   exit 2
 
 let () =
@@ -29,8 +29,8 @@ let () =
         not
           (List.mem a
              [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "ablation";
-               "faults"; "legality"; "sanitize"; "throughput"; "serve";
-               "fleet"; "evalcache"; "micro" ])
+               "faults"; "legality"; "sanitize"; "throughput"; "tensor";
+               "serve"; "fleet"; "evalcache"; "micro" ])
       then begin
         Printf.printf "unknown experiment %S\n" a;
         usage ()
@@ -66,6 +66,7 @@ let () =
   if want "legality" then Exp_legality.run c;
   if want "sanitize" then Exp_sanitize.run ~quick:fast c;
   if want "throughput" then Exp_throughput.run c;
+  if want "tensor" then Exp_tensor.run ~quick:fast c;
   if want "serve" then Exp_serve.run ~quick:fast c;
   if want "fleet" then Exp_fleet.run ~quick:fast c;
   if want "evalcache" then Exp_evalcache.run ~quick:fast c;

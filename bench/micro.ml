@@ -1,31 +1,45 @@
 (* Micro-benchmarks (Bechamel): per-call cost of the pieces that
    dominate experiment runtime — the timing oracle, schedule
    application, feature extraction, policy inference and the reference
-   interpreter. *)
+   interpreter — plus the tensor-kernel before/after rows (pre-Bigarray
+   float-array matmul vs the blocked Bigarray kernels). *)
 
 open Bechamel
 open Toolkit
 
-(* The zero-skip inner loop Tensor.matmul used to carry (an
-   [if av <> 0.0] guard per element). Kept here as a reference kernel
-   so the "matmul dense vs zero-skip" rows quantify what dropping it
-   bought: policy activations are dense, so the branch was pure
-   overhead on the hot path. *)
-let matmul_zero_skip (a : Tensor.t) (b : Tensor.t) =
-  let m = a.Tensor.shape.(0) and k = a.Tensor.shape.(1) in
-  let n = b.Tensor.shape.(1) in
+(* The exact pre-Bigarray Tensor.matmul: boxed float-array storage,
+   naive i-p-j loop, fresh allocation per call. Kept verbatim as the
+   "before" kernel so the matmul rows quantify what the Bigarray
+   representation, register/cache blocking and destination passing
+   bought. *)
+let matmul_pre_pr (a : float array) (b : float array) ~m ~k ~n =
   let out = Array.make (m * n) 0.0 in
   for i = 0 to m - 1 do
     for p = 0 to k - 1 do
-      let av = a.Tensor.data.((i * k) + p) in
+      let av = a.((i * k) + p) in
+      for j = 0 to n - 1 do
+        out.((i * n) + j) <- out.((i * n) + j) +. (av *. b.((p * n) + j))
+      done
+    done
+  done;
+  out
+
+(* The zero-skip inner loop Tensor.matmul carried before PR 3 (an
+   [if av <> 0.0] guard per element). Kept as a second reference so the
+   rows still quantify what dropping it bought: policy activations are
+   dense, so the branch was pure overhead on the hot path. *)
+let matmul_zero_skip (a : float array) (b : float array) ~m ~k ~n =
+  let out = Array.make (m * n) 0.0 in
+  for i = 0 to m - 1 do
+    for p = 0 to k - 1 do
+      let av = a.((i * k) + p) in
       if av <> 0.0 then
         for j = 0 to n - 1 do
-          out.((i * n) + j) <-
-            out.((i * n) + j) +. (av *. b.Tensor.data.((p * n) + j))
+          out.((i * n) + j) <- out.((i * n) + j) +. (av *. b.((p * n) + j))
         done
     done
   done;
-  { Tensor.shape = [| m; n |]; data = out }
+  out
 
 let make_tests () =
   let op = Linalg.matmul ~m:512 ~n:512 ~k:512 () in
@@ -50,15 +64,17 @@ let make_tests () =
       ("B", Array.init 256 (fun _ -> Util.Rng.uniform rng));
     ]
   in
-  (* Dense activations at the policy's forward shape (a batch of 8
-     observations through a 64-wide layer). *)
+  (* Dense activations at the policy's forward shapes: a batch of 8
+     observations through a 64-wide layer, and the hidden-128 square. *)
   let mk_dense rows cols =
-    {
-      Tensor.shape = [| rows; cols |];
-      data = Array.init (rows * cols) (fun _ -> Util.Rng.uniform rng -. 0.5);
-    }
+    Tensor.init [| rows; cols |] (fun _ -> Util.Rng.uniform rng -. 0.5)
   in
   let mm_a = mk_dense 8 64 and mm_b = mk_dense 64 64 in
+  let fa_a = Tensor.to_array mm_a and fa_b = Tensor.to_array mm_b in
+  let mm_dst = Tensor.zeros [| 8; 64 |] in
+  let h_a = mk_dense 8 128 and h_b = mk_dense 128 128 in
+  let hfa_a = Tensor.to_array h_a and hfa_b = Tensor.to_array h_b in
+  let h_dst = Tensor.zeros [| 8; 128 |] in
   Test.make_grouped ~name:"micro"
     [
       Test.make ~name:"cost-model estimate"
@@ -86,34 +102,54 @@ let make_tests () =
         (Staged.stage
            (let text = Ir_printer.to_string state.Sched_state.nest in
             fun () -> Ir_parser.parse text));
-      Test.make ~name:"matmul dense 8x64.64x64"
-        (Staged.stage (fun () -> Tensor.matmul mm_a mm_b));
+      Test.make ~name:"matmul pre-PR 8x64.64x64"
+        (Staged.stage (fun () -> matmul_pre_pr fa_a fa_b ~m:8 ~k:64 ~n:64));
       Test.make ~name:"matmul zero-skip 8x64.64x64"
-        (Staged.stage (fun () -> matmul_zero_skip mm_a mm_b));
+        (Staged.stage (fun () -> matmul_zero_skip fa_a fa_b ~m:8 ~k:64 ~n:64));
+      Test.make ~name:"matmul blocked 8x64.64x64"
+        (Staged.stage (fun () -> Tensor.matmul mm_a mm_b));
+      Test.make ~name:"matmul into 8x64.64x64"
+        (Staged.stage (fun () -> Tensor.matmul_into ~dst:mm_dst mm_a mm_b));
+      Test.make ~name:"matmul pre-PR 8x128.128x128"
+        (Staged.stage (fun () -> matmul_pre_pr hfa_a hfa_b ~m:8 ~k:128 ~n:128));
+      Test.make ~name:"matmul blocked 8x128.128x128"
+        (Staged.stage (fun () -> Tensor.matmul h_a h_b));
+      Test.make ~name:"matmul into 8x128.128x128"
+        (Staged.stage (fun () -> Tensor.matmul_into ~dst:h_dst h_a h_b));
     ]
 
 let run () =
   Bench_common.heading "Micro-benchmarks (Bechamel)";
   let benchmark () =
-    let instances = Instance.[ monotonic_clock ] in
+    let instances = Instance.[ monotonic_clock; minor_allocated ] in
     let cfg =
       Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
     in
     Benchmark.all cfg instances (make_tests ())
   in
-  let analyze raw =
+  let raw = benchmark () in
+  let analyze instance =
     let ols =
       Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
     in
-    Analyze.all ols Instance.monotonic_clock raw
+    Analyze.all ols instance raw
   in
-  let results = analyze (benchmark ()) in
-  Printf.printf "%-34s %16s\n" "benchmark" "ns/run";
+  let times = analyze Instance.monotonic_clock in
+  let allocs = analyze Instance.minor_allocated in
+  Printf.printf "%-34s %16s %16s\n" "benchmark" "ns/run" "minor words/run";
   let rows = ref [] in
-  Hashtbl.iter (fun name ols -> rows := (name, ols) :: !rows) results;
+  Hashtbl.iter (fun name ols -> rows := (name, ols) :: !rows) times;
+  let estimate ols =
+    match Analyze.OLS.estimates ols with Some (t :: _) -> Some t | _ -> None
+  in
   List.iter
     (fun (name, ols) ->
-      match Analyze.OLS.estimates ols with
-      | Some (t :: _) -> Printf.printf "%-34s %16.1f\n" name t
-      | Some [] | None -> Printf.printf "%-34s %16s\n" name "n/a")
+      let time = estimate ols in
+      let words =
+        match Hashtbl.find_opt allocs name with
+        | Some a -> estimate a
+        | None -> None
+      in
+      let cell = function Some v -> Printf.sprintf "%.1f" v | None -> "n/a" in
+      Printf.printf "%-34s %16s %16s\n" name (cell time) (cell words))
     (List.sort compare !rows)

@@ -32,10 +32,7 @@ let params t =
   @ Layers.mlp_params t.head
   @ Layers.mlp_params t.value_net
 
-let obs_tensor_of_rows rows =
-  let b = Array.length rows in
-  let d = Array.length rows.(0) in
-  Tensor.init [| b; d |] (fun i -> rows.(i / d).(i mod d))
+let obs_tensor_of_rows = Policy.obs_tensor_of_rows
 
 let forward tape t obs_tensor =
   let obs = Autodiff.const tape obs_tensor in
@@ -52,14 +49,14 @@ let safe_row row =
     r
   end
 
-let act rng t ~obs ~mask =
-  let tape = Autodiff.Tape.create () in
-  let logits, value = forward tape t (obs_tensor_of_rows [| obs |]) in
-  let lp =
-    Distributions.masked_log_probs tape logits ~mask:[| safe_row mask |]
-  in
-  let c = Distributions.sample rng (Autodiff.value lp) 0 in
-  (c, Tensor.get2 (Autodiff.value lp) 0 c, Tensor.get2 (Autodiff.value value) 0 0)
+(* Per-domain workspace for the tape-free paths; reset per call, every
+   escaping result extracted as a scalar before return (see Policy). *)
+let ws_key = Domain.DLS.new_key Tensor.Workspace.create
+
+let forward_values ~ws t obs_t =
+  let out = Layers.forward_batch ~ws t.backbone obs_t in
+  let feat = Tensor.relu_into ~dst:out out in
+  Layers.forward_batch ~ws t.head feat
 
 let act_batch rngs t ~obs ~masks =
   (* Tape-free batched [act]; row-independent kernels + per-row rngs
@@ -67,29 +64,40 @@ let act_batch rngs t ~obs ~masks =
   let b = Array.length obs in
   if Array.length rngs <> b || Array.length masks <> b then
     invalid_arg "Flat_policy.act_batch: obs/masks/rngs length mismatch";
-  let relu = Tensor.map (fun v -> if v > 0.0 then v else 0.0) in
-  let obs_t = obs_tensor_of_rows obs in
-  let feat = relu (Layers.forward_batch t.backbone obs_t) in
-  let logits = Layers.forward_batch t.head feat in
-  let value = Layers.forward_batch t.value_net obs_t in
+  let ws = Domain.DLS.get ws_key in
+  Tensor.Workspace.reset ws;
+  let obs_t = obs_tensor_of_rows ~ws obs in
+  let logits = forward_values ~ws t obs_t in
+  let value = Layers.forward_batch ~ws t.value_net obs_t in
   let lp =
-    Distributions.masked_log_probs_values logits ~mask:(Array.map safe_row masks)
+    Distributions.masked_log_probs_values ~ws logits
+      ~mask:(Array.map safe_row masks)
   in
   let choices = Distributions.sample_batch rngs lp in
   Array.init b (fun i ->
       (choices.(i), Tensor.get2 lp i choices.(i), Tensor.get2 value i 0))
 
+let act rng t ~obs ~mask =
+  (act_batch [| rng |] t ~obs:[| obs |] ~masks:[| mask |]).(0)
+
 let act_greedy t ~obs ~mask =
-  let tape = Autodiff.Tape.create () in
-  let logits, _ = forward tape t (obs_tensor_of_rows [| obs |]) in
+  (* Same values as the tape path ([forward_batch] mirrors [forward_mlp]
+     bit for bit), minus the tape and the value-net forward. *)
+  let ws = Domain.DLS.get ws_key in
+  Tensor.Workspace.reset ws;
+  let logits = forward_values ~ws t (obs_tensor_of_rows ~ws [| obs |]) in
   let lp =
-    Distributions.masked_log_probs tape logits ~mask:[| safe_row mask |]
+    Distributions.masked_log_probs_values ~ws logits ~mask:[| safe_row mask |]
   in
-  Distributions.argmax (Autodiff.value lp) 0
+  Distributions.argmax lp 0
 
 let evaluate t tape (samples : sample array) =
   let b = Array.length samples in
-  let obs = obs_tensor_of_rows (Array.map (fun s -> s.f_obs) samples) in
+  let obs =
+    obs_tensor_of_rows
+      ?ws:(Autodiff.Tape.ws tape)
+      (Array.map (fun s -> s.f_obs) samples)
+  in
   let logits, value = forward tape t obs in
   let mask = Array.map (fun s -> safe_row s.f_mask) samples in
   let lp = Distributions.masked_log_probs tape logits ~mask in

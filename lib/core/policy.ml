@@ -75,10 +75,24 @@ let safe_row row =
     r
   end
 
-let obs_tensor_of_rows rows =
+let obs_tensor_of_rows ?ws rows =
   let b = Array.length rows in
   let d = Array.length rows.(0) in
-  Tensor.init [| b; d |] (fun i -> rows.(i / d).(i mod d))
+  let t =
+    match ws with
+    | Some ws -> Tensor.Workspace.get ws [| b; d |]
+    | None -> Tensor.zeros [| b; d |]
+  in
+  for i = 0 to b - 1 do
+    let row = rows.(i) in
+    if Array.length row <> d then
+      invalid_arg "Policy.obs_tensor_of_rows: ragged observation rows";
+    let base = i * d in
+    for j = 0 to d - 1 do
+      Tensor.unsafe_set t (base + j) (Array.unsafe_get row j)
+    done
+  done;
+  t
 
 (* Per-loop log-prob/entropy of a tiling-style head. *)
 let tiling_branch tape (cfg : Env_config.t) head_node ~tile_masks ~choices =
@@ -110,7 +124,11 @@ let tiling_branch tape (cfg : Env_config.t) head_node ~tile_masks ~choices =
 let evaluate t tape (samples : sample array) =
   let cfg = t.cfg in
   let b = Array.length samples in
-  let obs = obs_tensor_of_rows (Array.map (fun s -> s.s_obs) samples) in
+  let obs =
+    obs_tensor_of_rows
+      ?ws:(Autodiff.Tape.ws tape)
+      (Array.map (fun s -> s.s_obs) samples)
+  in
   let heads = forward tape t obs in
   (* transformation head *)
   let t_mask = Array.map (fun s -> safe_row s.s_masks.Action_space.t_mask) samples in
@@ -166,49 +184,6 @@ let load t path = Serialize.load_params path (params t)
 
 (* -- sampling -- *)
 
-let single_row_lp tape node ~mask =
-  Distributions.masked_log_probs tape node ~mask:[| safe_row mask |]
-
-let act ?(temperature = 1.0) rng t ~obs ~masks =
-  let cfg = t.cfg in
-  let n = cfg.Env_config.n_max in
-  let m = Env_config.n_tile_choices cfg in
-  let draw lp =
-    if temperature = 1.0 then Distributions.sample rng lp 0
-    else Distributions.sample_tempered rng lp 0 ~temperature
-  in
-  let tape = Autodiff.Tape.create () in
-  let heads = forward tape t (obs_tensor_of_rows [| obs |]) in
-  let t_lp = single_row_lp tape heads.h_t ~mask:masks.Action_space.t_mask in
-  let ti = draw (Autodiff.value t_lp) in
-  let logp = ref (Tensor.get2 (Autodiff.value t_lp) 0 ti) in
-  let tile_choices = Array.make n 0 in
-  let swap_choice = ref 0 in
-  if ti = Action_space.t_tile || ti = Action_space.t_parallelize then begin
-    let head = if ti = Action_space.t_tile then heads.h_tile else heads.h_par in
-    let mask_rows =
-      if ti = Action_space.t_tile then masks.Action_space.tile_mask
-      else masks.Action_space.par_mask
-    in
-    for l = 0 to n - 1 do
-      let logits = Autodiff.slice_cols tape head ~lo:(l * m) ~hi:((l + 1) * m) in
-      let lp = single_row_lp tape logits ~mask:mask_rows.(l) in
-      let c = draw (Autodiff.value lp) in
-      tile_choices.(l) <- c;
-      logp := !logp +. Tensor.get2 (Autodiff.value lp) 0 c
-    done
-  end
-  else if ti = Action_space.t_interchange then begin
-    let lp = single_row_lp tape heads.h_swap ~mask:masks.Action_space.swap_mask in
-    let c = draw (Autodiff.value lp) in
-    swap_choice := c;
-    logp := !logp +. Tensor.get2 (Autodiff.value lp) 0 c
-  end;
-  let value = Tensor.get2 (Autodiff.value heads.h_value) 0 0 in
-  ( { Action_space.transform = ti; tile_choices; swap_choice = !swap_choice },
-    !logp,
-    value )
-
 (* -- batched, tape-free sampling --
 
    The parallel rollout engine advances a slab of episodes in lockstep
@@ -217,25 +192,39 @@ let act ?(temperature = 1.0) rng t ~obs ~masks =
    every kernel on this path is row-independent with per-row
    accumulation order identical to the single-row case, and each row
    draws only from its own rng, [act_batch] on a batch is bit-equal to
-   [act] on each row separately. *)
+   [act] on each row separately.
+
+   All intermediates live in a per-domain workspace (reset at the top of
+   each batched call, every escaping result extracted as a scalar before
+   return), so a steady-state rollout allocates almost nothing per
+   step. Branch heads are lazy: their forward passes run only if some
+   row took the branch — in particular the greedy serving path never
+   pays for the value net. Laziness is invisible to results because an
+   unforced head is an unread head. *)
+
+let ws_key = Domain.DLS.new_key Tensor.Workspace.create
 
 type head_values = {
   v_t : Tensor.t;
-  v_tile : Tensor.t;
-  v_par : Tensor.t;
-  v_swap : Tensor.t;
-  v_value : Tensor.t;
+  v_tile : Tensor.t Lazy.t;
+  v_par : Tensor.t Lazy.t;
+  v_swap : Tensor.t Lazy.t;
+  v_value : Tensor.t Lazy.t;
 }
 
-let forward_values t obs_tensor =
-  let relu = Tensor.map (fun v -> if v > 0.0 then v else 0.0) in
-  let feat = relu (Layers.forward_batch t.backbone obs_tensor) in
+let forward_values ?ws t obs_tensor =
+  let out = Layers.forward_batch ?ws t.backbone obs_tensor in
+  (* The backbone always has at least one layer, so [out] is a fresh (or
+     workspace) activation, never the observation matrix itself — the
+     in-place ReLU cannot clobber caller data. *)
+  assert (t.backbone.Layers.layers <> []);
+  let feat = Tensor.relu_into ~dst:out out in
   {
-    v_t = Layers.forward_batch t.t_head feat;
-    v_tile = Layers.forward_batch t.tile_head feat;
-    v_par = Layers.forward_batch t.par_head feat;
-    v_swap = Layers.forward_batch t.swap_head feat;
-    v_value = Layers.forward_batch t.value_net obs_tensor;
+    v_t = Layers.forward_batch ?ws t.t_head feat;
+    v_tile = lazy (Layers.forward_batch ?ws t.tile_head feat);
+    v_par = lazy (Layers.forward_batch ?ws t.par_head feat);
+    v_swap = lazy (Layers.forward_batch ?ws t.swap_head feat);
+    v_value = lazy (Layers.forward_batch ?ws t.value_net obs_tensor);
   }
 
 let act_batch ?(temperature = 1.0) rngs t ~obs ~masks =
@@ -249,22 +238,29 @@ let act_batch ?(temperature = 1.0) rngs t ~obs ~masks =
     if temperature = 1.0 then Distributions.sample rng lp row
     else Distributions.sample_tempered rng lp row ~temperature
   in
-  let heads = forward_values t (obs_tensor_of_rows obs) in
+  let ws = Domain.DLS.get ws_key in
+  Tensor.Workspace.reset ws;
+  let heads = forward_values ~ws t (obs_tensor_of_rows ~ws obs) in
   let t_mask = Array.map (fun ms -> safe_row ms.Action_space.t_mask) masks in
-  let t_lp = Distributions.masked_log_probs_values heads.v_t ~mask:t_mask in
+  let t_lp = Distributions.masked_log_probs_values ~ws heads.v_t ~mask:t_mask in
   let tis = Array.init b (fun i -> draw rngs.(i) t_lp i) in
   let logps = Array.init b (fun i -> Tensor.get2 t_lp i tis.(i)) in
   let tile_choices = Array.init b (fun _ -> Array.make n 0) in
   let swap_choices = Array.make b 0 in
-  (* Branch heads are evaluated for the whole batch (they were computed
-     anyway), but row [i] draws from its rng only when row [i] took the
-     branch — so each row's rng consumption matches [act] exactly. *)
+  (* A branch head's forward runs only if some row took the branch, and
+     row [i] draws from its rng only when row [i] did — so each row's
+     rng consumption matches [act] exactly. *)
   let branch head pick_mask wanted =
-    if Array.exists (fun ti -> ti = wanted) tis then
+    if Array.exists (fun ti -> ti = wanted) tis then begin
+      let head = Lazy.force head in
       for l = 0 to n - 1 do
-        let logits = Tensor.slice_cols head ~lo:(l * m) ~hi:((l + 1) * m) in
+        let logits =
+          Tensor.slice_cols_into
+            ~dst:(Tensor.Workspace.get ws [| b; m |])
+            head ~lo:(l * m) ~hi:((l + 1) * m)
+        in
         let mask = Array.init b (fun i -> safe_row (pick_mask masks.(i)).(l)) in
-        let lp = Distributions.masked_log_probs_values logits ~mask in
+        let lp = Distributions.masked_log_probs_values ~ws logits ~mask in
         for i = 0 to b - 1 do
           if tis.(i) = wanted then begin
             let c = draw rngs.(i) lp i in
@@ -273,13 +269,17 @@ let act_batch ?(temperature = 1.0) rngs t ~obs ~masks =
           end
         done
       done
+    end
   in
   branch heads.v_tile (fun ms -> ms.Action_space.tile_mask) Action_space.t_tile;
   branch heads.v_par (fun ms -> ms.Action_space.par_mask)
     Action_space.t_parallelize;
   if Array.exists (fun ti -> ti = Action_space.t_interchange) tis then begin
     let swap_mask = Array.map (fun ms -> safe_row ms.Action_space.swap_mask) masks in
-    let swap_lp = Distributions.masked_log_probs_values heads.v_swap ~mask:swap_mask in
+    let swap_lp =
+      Distributions.masked_log_probs_values ~ws (Lazy.force heads.v_swap)
+        ~mask:swap_mask
+    in
     for i = 0 to b - 1 do
       if tis.(i) = Action_space.t_interchange then begin
         let c = draw rngs.(i) swap_lp i in
@@ -288,6 +288,7 @@ let act_batch ?(temperature = 1.0) rngs t ~obs ~masks =
       end
     done
   end;
+  let values = Lazy.force heads.v_value in
   Array.init b (fun i ->
       ( {
           Action_space.transform = tis.(i);
@@ -295,7 +296,14 @@ let act_batch ?(temperature = 1.0) rngs t ~obs ~masks =
           swap_choice = swap_choices.(i);
         },
         logps.(i),
-        Tensor.get2 heads.v_value i 0 ))
+        Tensor.get2 values i 0 ))
+
+let act ?temperature rng t ~obs ~masks =
+  (* Singleton [act_batch]: same draws from [rng], same log-probability
+     and value — the batched path is bit-equal to a per-row evaluation
+     by the contract above, so collapsing the singleton onto it changes
+     nothing except dropping the per-step tape. *)
+  (act_batch ?temperature [| rng |] t ~obs:[| obs |] ~masks:[| masks |]).(0)
 
 (* Batched greedy decoding for the serving path: one forward pass for a
    slab of concurrently advancing request episodes, argmax per row. The
@@ -310,29 +318,42 @@ let act_greedy_batch t ~obs ~masks =
   let b = Array.length obs in
   if Array.length masks <> b then
     invalid_arg "Policy.act_greedy_batch: obs/masks length mismatch";
-  let heads = forward_values t (obs_tensor_of_rows obs) in
+  let ws = Domain.DLS.get ws_key in
+  Tensor.Workspace.reset ws;
+  (* The value net is lazy and never forced here: greedy serving skips
+     that whole forward pass. *)
+  let heads = forward_values ~ws t (obs_tensor_of_rows ~ws obs) in
   let t_mask = Array.map (fun ms -> safe_row ms.Action_space.t_mask) masks in
-  let t_lp = Distributions.masked_log_probs_values heads.v_t ~mask:t_mask in
+  let t_lp = Distributions.masked_log_probs_values ~ws heads.v_t ~mask:t_mask in
   let tis = Array.init b (fun i -> Distributions.argmax t_lp i) in
   let tile_choices = Array.init b (fun _ -> Array.make n 0) in
   let swap_choices = Array.make b 0 in
   let branch head pick_mask wanted =
-    if Array.exists (fun ti -> ti = wanted) tis then
+    if Array.exists (fun ti -> ti = wanted) tis then begin
+      let head = Lazy.force head in
       for l = 0 to n - 1 do
-        let logits = Tensor.slice_cols head ~lo:(l * m) ~hi:((l + 1) * m) in
+        let logits =
+          Tensor.slice_cols_into
+            ~dst:(Tensor.Workspace.get ws [| b; m |])
+            head ~lo:(l * m) ~hi:((l + 1) * m)
+        in
         let mask = Array.init b (fun i -> safe_row (pick_mask masks.(i)).(l)) in
-        let lp = Distributions.masked_log_probs_values logits ~mask in
+        let lp = Distributions.masked_log_probs_values ~ws logits ~mask in
         for i = 0 to b - 1 do
           if tis.(i) = wanted then tile_choices.(i).(l) <- Distributions.argmax lp i
         done
       done
+    end
   in
   branch heads.v_tile (fun ms -> ms.Action_space.tile_mask) Action_space.t_tile;
   branch heads.v_par (fun ms -> ms.Action_space.par_mask)
     Action_space.t_parallelize;
   if Array.exists (fun ti -> ti = Action_space.t_interchange) tis then begin
     let swap_mask = Array.map (fun ms -> safe_row ms.Action_space.swap_mask) masks in
-    let swap_lp = Distributions.masked_log_probs_values heads.v_swap ~mask:swap_mask in
+    let swap_lp =
+      Distributions.masked_log_probs_values ~ws (Lazy.force heads.v_swap)
+        ~mask:swap_mask
+    in
     for i = 0 to b - 1 do
       if tis.(i) = Action_space.t_interchange then
         swap_choices.(i) <- Distributions.argmax swap_lp i
@@ -346,29 +367,4 @@ let act_greedy_batch t ~obs ~masks =
       })
 
 let act_greedy t ~obs ~masks =
-  let cfg = t.cfg in
-  let n = cfg.Env_config.n_max in
-  let m = Env_config.n_tile_choices cfg in
-  let tape = Autodiff.Tape.create () in
-  let heads = forward tape t (obs_tensor_of_rows [| obs |]) in
-  let t_lp = single_row_lp tape heads.h_t ~mask:masks.Action_space.t_mask in
-  let ti = Distributions.argmax (Autodiff.value t_lp) 0 in
-  let tile_choices = Array.make n 0 in
-  let swap_choice = ref 0 in
-  if ti = Action_space.t_tile || ti = Action_space.t_parallelize then begin
-    let head = if ti = Action_space.t_tile then heads.h_tile else heads.h_par in
-    let mask_rows =
-      if ti = Action_space.t_tile then masks.Action_space.tile_mask
-      else masks.Action_space.par_mask
-    in
-    for l = 0 to n - 1 do
-      let logits = Autodiff.slice_cols tape head ~lo:(l * m) ~hi:((l + 1) * m) in
-      let lp = single_row_lp tape logits ~mask:mask_rows.(l) in
-      tile_choices.(l) <- Distributions.argmax (Autodiff.value lp) 0
-    done
-  end
-  else if ti = Action_space.t_interchange then begin
-    let lp = single_row_lp tape heads.h_swap ~mask:masks.Action_space.swap_mask in
-    swap_choice := Distributions.argmax (Autodiff.value lp) 0
-  end;
-  { Action_space.transform = ti; tile_choices; swap_choice = !swap_choice }
+  (act_greedy_batch t ~obs:[| obs |] ~masks:[| masks |]).(0)

@@ -26,6 +26,10 @@ val create :
 val params : t -> Autodiff.Param.t list
 val param_count : t -> int
 
+val obs_tensor_of_rows : ?ws:Tensor.Workspace.t -> float array array -> Tensor.t
+(** Stack observation rows into a \[batch; obs_dim\] matrix, optionally
+    in a workspace buffer (shared helper for batched inference paths). *)
+
 val act :
   ?temperature:float ->
   Util.Rng.t ->

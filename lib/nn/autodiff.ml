@@ -1,3 +1,11 @@
+(* Without flambda a cross-module [Tensor.unsafe_get] is a real call
+   that boxes its float result; the backward loops below run over every
+   activation element of every node, so they fetch the raw buffer once
+   and use the Bigarray primitives, which compile to inline
+   loads/stores from any module. *)
+let uget (b : Tensor.buf) i : float = Bigarray.Array1.unsafe_get b i
+let uset (b : Tensor.buf) i (v : float) = Bigarray.Array1.unsafe_set b i v
+
 module Param = struct
   type t = { name : string; data : Tensor.t; grad : Tensor.t }
 
@@ -10,147 +18,182 @@ end
 
 type node = {
   value : Tensor.t;
-  grad : Tensor.t;
+  grad : Tensor.t Lazy.t;
+      (* Allocated on first touch. Inference tapes (batched sampling,
+         serving) never call [backward], so their nodes never pay for a
+         gradient buffer; training tapes force every grad during
+         [backward], which preserves the eager semantics (zeros until
+         accumulated into) bit for bit. *)
   back : unit -> unit;  (* reads [grad], accumulates into parents *)
 }
 
 module Tape = struct
-  type t = { mutable nodes : node list; mutable n : int }
+  type t = {
+    mutable nodes : node list;
+    mutable n : int;
+    ws : Tensor.Workspace.t option;
+  }
 
-  let create () = { nodes = []; n = 0 }
+  (* A tape created with [~ws] draws every node value and every forced
+     gradient from the workspace instead of the heap: after the first
+     tape over a given network, the op sequence repeats, so every
+     buffer is a pooled reuse and a whole forward/backward allocates
+     nothing. The workspace is reset here, which invalidates buffers
+     handed out to the PREVIOUS tape that used it — callers must
+     extract anything they keep (scalars, copies) before creating the
+     next tape on the same workspace. Plain [create ()] keeps
+     fresh-allocation semantics. *)
+  let create ?ws () =
+    Option.iter Tensor.Workspace.reset ws;
+    { nodes = []; n = 0; ws }
+
   let push t node =
     t.nodes <- node :: t.nodes;
     t.n <- t.n + 1
   let length t = t.n
+  let ws t = t.ws
 end
 
 let value n = n.value
-let grad n = n.grad
+let grad n = Lazy.force n.grad
 
-let mk tape value back =
-  let node = { value; grad = Tensor.zeros (Tensor.dims value); back } in
-  (* [back] closures capture the node's grad via this record; we tie the
-     knot by building the closure after allocation in each op. *)
+(* Scratch for backward steps that need a real output buffer (the dB
+   half of the matmul backward). Reset once per [backward]; the hand-out
+   sequence is the reverse tape order, which is stable for a fixed
+   network, so after the first minibatch every [get] reuses a pooled
+   buffer. Per-domain, never shared. *)
+let bw_ws_key = Domain.DLS.new_key Tensor.Workspace.create
+let bw_ws () = Domain.DLS.get bw_ws_key
+
+(* Value buffer for an op that overwrites every element. *)
+let alloc tape shape =
+  match tape.Tape.ws with
+  | None -> Tensor.zeros shape
+  | Some ws -> Tensor.Workspace.get ws shape
+
+(* Gradients start at zero either way; a workspace slot holds stale
+   data from the previous tape and is cleared on first touch. *)
+let lazy_grad tape shape =
+  match tape.Tape.ws with
+  | None -> lazy (Tensor.zeros shape)
+  | Some ws ->
+      lazy
+        (let g = Tensor.Workspace.get ws shape in
+         Tensor.fill_inplace g 0.0;
+         g)
+
+let mk tape value back_of =
+  let rec node =
+    { value; grad = lazy_grad tape (Tensor.dims value); back = (fun () -> back_of node) }
+  in
   Tape.push tape node;
   node
 
 let of_param tape (p : Param.t) =
-  let rec node =
-    {
-      value = p.Param.data;
-      grad = Tensor.zeros (Tensor.dims p.Param.data);
-      back = (fun () -> Tensor.add_inplace p.Param.grad node.grad);
-    }
-  in
-  Tape.push tape node;
-  node
+  mk tape p.Param.data (fun node ->
+      Tensor.add_inplace p.Param.grad (Lazy.force node.grad))
 
-let const tape t =
-  mk tape t (fun () -> ())
+let const tape t = mk tape t (fun _ -> ())
 
 let matmul tape a b =
-  let rec node =
-    {
-      value = Tensor.matmul a.value b.value;
-      grad = Tensor.zeros [| a.value.Tensor.shape.(0); b.value.Tensor.shape.(1) |];
-      back =
-        (fun () ->
-          (* dA = dC * B^T ; dB = A^T * dC *)
-          Tensor.add_inplace a.grad (Tensor.matmul_transpose_b node.grad b.value);
-          Tensor.add_inplace b.grad (Tensor.matmul_transpose_a a.value node.grad));
-    }
+  let value =
+    Tensor.matmul_into
+      ~dst:(alloc tape [| a.value.Tensor.shape.(0); b.value.Tensor.shape.(1) |])
+      a.value b.value
   in
-  Tape.push tape node;
-  node
+  mk tape value (fun node ->
+      (* dA = dC * B^T ; dB = A^T * dC. dA fuses the product with the
+         accumulate (each cell formed in a register, added once); dB
+         needs a staging buffer because transpose-A accumulates across p
+         in memory — drawn from the backward workspace, so neither half
+         allocates in steady state. *)
+      let g = Lazy.force node.grad in
+      Tensor.matmul_transpose_b_addto ~dst:(Lazy.force a.grad) g b.value;
+      let scratch =
+        Tensor.Workspace.get (bw_ws ()) (Tensor.dims b.value)
+      in
+      Tensor.matmul_transpose_a_into ~dst:scratch a.value g |> ignore;
+      Tensor.add_inplace (Lazy.force b.grad) scratch)
 
 let add tape a b =
-  let rec node =
-    {
-      value = Tensor.add a.value b.value;
-      grad = Tensor.zeros (Tensor.dims a.value);
-      back =
-        (fun () ->
-          Tensor.add_inplace a.grad node.grad;
-          Tensor.add_inplace b.grad node.grad);
-    }
-  in
-  Tape.push tape node;
-  node
+  let value = Tensor.add_into ~dst:(alloc tape (Tensor.dims a.value)) a.value b.value in
+  mk tape value (fun node ->
+      let g = Lazy.force node.grad in
+      Tensor.add_inplace (Lazy.force a.grad) g;
+      Tensor.add_inplace (Lazy.force b.grad) g)
 
 let sub tape a b =
-  let rec node =
-    {
-      value = Tensor.sub a.value b.value;
-      grad = Tensor.zeros (Tensor.dims a.value);
-      back =
-        (fun () ->
-          Tensor.add_inplace a.grad node.grad;
-          for i = 0 to Tensor.numel b.grad - 1 do
-            Tensor.set b.grad i (Tensor.get b.grad i -. Tensor.get node.grad i)
-          done);
-    }
-  in
-  Tape.push tape node;
-  node
+  let value = Tensor.sub_into ~dst:(alloc tape (Tensor.dims a.value)) a.value b.value in
+  mk tape value (fun node ->
+      let g = Lazy.force node.grad in
+      Tensor.add_inplace (Lazy.force a.grad) g;
+      let bg = (Lazy.force b.grad).Tensor.data and gd = g.Tensor.data in
+      for i = 0 to Tensor.numel g - 1 do
+        uset bg i (uget bg i -. uget gd i)
+      done)
 
 let mul tape a b =
-  let rec node =
-    {
-      value = Tensor.mul a.value b.value;
-      grad = Tensor.zeros (Tensor.dims a.value);
-      back =
-        (fun () ->
-          Tensor.add_inplace a.grad (Tensor.mul node.grad b.value);
-          Tensor.add_inplace b.grad (Tensor.mul node.grad a.value));
-    }
-  in
-  Tape.push tape node;
-  node
+  let value = Tensor.mul_into ~dst:(alloc tape (Tensor.dims a.value)) a.value b.value in
+  mk tape value (fun node ->
+      let g = Lazy.force node.grad in
+      Tensor.add_mul_inplace (Lazy.force a.grad) g b.value;
+      Tensor.add_mul_inplace (Lazy.force b.grad) g a.value)
 
 let add_bias tape x b =
-  let rec node =
-    {
-      value = Tensor.add_bias x.value b.value;
-      grad = Tensor.zeros (Tensor.dims x.value);
-      back =
-        (fun () ->
-          Tensor.add_inplace x.grad node.grad;
-          let m = x.value.Tensor.shape.(0) and n = x.value.Tensor.shape.(1) in
-          for i = 0 to m - 1 do
-            for j = 0 to n - 1 do
-              Tensor.set b.grad j
-                (Tensor.get b.grad j +. Tensor.get2 node.grad i j)
-            done
-          done);
-    }
+  let value =
+    Tensor.add_bias_into ~dst:(alloc tape (Tensor.dims x.value)) x.value b.value
   in
-  Tape.push tape node;
-  node
+  mk tape value (fun node ->
+      let g = Lazy.force node.grad in
+      Tensor.add_inplace (Lazy.force x.grad) g;
+      let m = x.value.Tensor.shape.(0) and n = x.value.Tensor.shape.(1) in
+      let bg = (Lazy.force b.grad).Tensor.data and gd = g.Tensor.data in
+      for i = 0 to m - 1 do
+        let row = i * n in
+        for j = 0 to n - 1 do
+          uset bg j (uget bg j +. uget gd (row + j))
+        done
+      done)
 
 let unary tape a ~f ~df =
   (* df receives (input value, output gradient) elementwise *)
-  let rec node =
-    {
-      value = Tensor.map f a.value;
-      grad = Tensor.zeros (Tensor.dims a.value);
-      back =
-        (fun () ->
-          for i = 0 to Tensor.numel a.value - 1 do
-            Tensor.set a.grad i
-              (Tensor.get a.grad i
-              +. df (Tensor.get a.value i) (Tensor.get node.grad i))
-          done);
-    }
-  in
-  Tape.push tape node;
-  node
+  let value = Tensor.map_into f ~dst:(alloc tape (Tensor.dims a.value)) a.value in
+  mk tape value (fun node ->
+      let gd = (Lazy.force node.grad).Tensor.data in
+      let ag = (Lazy.force a.grad).Tensor.data in
+      let av = a.value.Tensor.data in
+      for i = 0 to Tensor.numel a.value - 1 do
+        uset ag i (uget ag i +. df (uget av i) (uget gd i))
+      done)
 
+(* [relu] and [exp_] run over every activation in a training step, so
+   they bypass [unary]: calling a [float -> float -> float] closure per
+   element boxes three floats per call — measured as the bulk of a
+   backward pass's minor allocation. Direct loops keep the identical
+   arithmetic with zero boxing. *)
 let relu tape a =
-  unary tape a
-    ~f:(fun x -> if x > 0.0 then x else 0.0)
-    ~df:(fun x g -> if x > 0.0 then g else 0.0)
+  let value = Tensor.relu_into ~dst:(alloc tape (Tensor.dims a.value)) a.value in
+  mk tape value (fun node ->
+      let gd = (Lazy.force node.grad).Tensor.data in
+      let ag = (Lazy.force a.grad).Tensor.data in
+      let av = a.value.Tensor.data in
+      for i = 0 to Tensor.numel a.value - 1 do
+        if uget av i > 0.0 then uset ag i (uget ag i +. uget gd i)
+      done)
 
-let exp_ tape a = unary tape a ~f:exp ~df:(fun x g -> g *. exp x)
+let exp_ tape a =
+  let value = alloc tape (Tensor.dims a.value) in
+  let vd = value.Tensor.data and avd = a.value.Tensor.data in
+  for i = 0 to Tensor.numel a.value - 1 do
+    uset vd i (exp (uget avd i))
+  done;
+  mk tape value (fun node ->
+      let gd = (Lazy.force node.grad).Tensor.data in
+      let ag = (Lazy.force a.grad).Tensor.data in
+      let av = a.value.Tensor.data in
+      for i = 0 to Tensor.numel a.value - 1 do
+        uset ag i (uget ag i +. (uget gd i *. exp (uget av i)))
+      done)
 let neg tape a = unary tape a ~f:(fun x -> -.x) ~df:(fun _ g -> -.g)
 let scale tape k a = unary tape a ~f:(fun x -> k *. x) ~df:(fun _ g -> k *. g)
 let add_scalar tape k a = unary tape a ~f:(fun x -> x +. k) ~df:(fun _ g -> g)
@@ -162,67 +205,58 @@ let clamp tape ~lo ~hi a =
     ~df:(fun x g -> if x >= lo && x <= hi then g else 0.0)
 
 let min_ tape a b =
-  let rec node =
-    {
-      value = Tensor.map2 Float.min a.value b.value;
-      grad = Tensor.zeros (Tensor.dims a.value);
-      back =
-        (fun () ->
-          for i = 0 to Tensor.numel a.value - 1 do
-            let g = Tensor.get node.grad i in
-            if Tensor.get a.value i <= Tensor.get b.value i then
-              Tensor.set a.grad i (Tensor.get a.grad i +. g)
-            else Tensor.set b.grad i (Tensor.get b.grad i +. g)
-          done);
-    }
+  let value =
+    Tensor.map2_into Float.min ~dst:(alloc tape (Tensor.dims a.value)) a.value b.value
   in
-  Tape.push tape node;
-  node
+  mk tape value (fun node ->
+      let gd = (Lazy.force node.grad).Tensor.data in
+      let ag = (Lazy.force a.grad).Tensor.data
+      and bg = (Lazy.force b.grad).Tensor.data in
+      let av = a.value.Tensor.data and bv = b.value.Tensor.data in
+      for i = 0 to Tensor.numel a.value - 1 do
+        let gi = uget gd i in
+        if uget av i <= uget bv i then uset ag i (uget ag i +. gi)
+        else uset bg i (uget bg i +. gi)
+      done)
 
 let log_softmax tape a =
   let x = a.value in
   if Array.length x.Tensor.shape <> 2 then
     invalid_arg "Autodiff.log_softmax: expected rank 2";
   let m = x.Tensor.shape.(0) and n = x.Tensor.shape.(1) in
-  let out = Tensor.zeros [| m; n |] in
+  let out = alloc tape [| m; n |] in
+  let xd = x.Tensor.data and od = out.Tensor.data in
   for i = 0 to m - 1 do
+    let row = i * n in
     let row_max = ref neg_infinity in
     for j = 0 to n - 1 do
-      row_max := Float.max !row_max (Tensor.get2 x i j)
+      row_max := Float.max !row_max (uget xd (row + j))
     done;
     let sum = ref 0.0 in
     for j = 0 to n - 1 do
-      sum := !sum +. exp (Tensor.get2 x i j -. !row_max)
+      sum := !sum +. exp (uget xd (row + j) -. !row_max)
     done;
     let log_z = !row_max +. log !sum in
     for j = 0 to n - 1 do
-      Tensor.set2 out i j (Tensor.get2 x i j -. log_z)
+      uset od (row + j) (uget xd (row + j) -. log_z)
     done
   done;
-  let rec node =
-    {
-      value = out;
-      grad = Tensor.zeros [| m; n |];
-      back =
-        (fun () ->
-          (* dx_ij = g_ij - softmax_ij * sum_j g_ij *)
-          for i = 0 to m - 1 do
-            let gsum = ref 0.0 in
-            for j = 0 to n - 1 do
-              gsum := !gsum +. Tensor.get2 node.grad i j
-            done;
-            for j = 0 to n - 1 do
-              let p = exp (Tensor.get2 node.value i j) in
-              Tensor.set2 a.grad i j
-                (Tensor.get2 a.grad i j
-                +. Tensor.get2 node.grad i j
-                -. (p *. !gsum))
-            done
-          done);
-    }
-  in
-  Tape.push tape node;
-  node
+  mk tape out (fun node ->
+      (* dx_ij = g_ij - softmax_ij * sum_j g_ij *)
+      let gd = (Lazy.force node.grad).Tensor.data in
+      let ag = (Lazy.force a.grad).Tensor.data in
+      let v = node.value.Tensor.data in
+      for i = 0 to m - 1 do
+        let row = i * n in
+        let gsum = ref 0.0 in
+        for j = 0 to n - 1 do
+          gsum := !gsum +. uget gd (row + j)
+        done;
+        for j = 0 to n - 1 do
+          let p = exp (uget v (row + j)) in
+          uset ag (row + j) (uget ag (row + j) +. uget gd (row + j) -. (p *. !gsum))
+        done
+      done)
 
 let gather_cols tape a cols =
   let x = a.value in
@@ -231,21 +265,18 @@ let gather_cols tape a cols =
   let m = x.Tensor.shape.(0) in
   if Array.length cols <> m then
     invalid_arg "Autodiff.gather_cols: one column index per row required";
-  let out = Tensor.init [| m |] (fun i -> Tensor.get2 x i cols.(i)) in
-  let rec node =
-    {
-      value = out;
-      grad = Tensor.zeros [| m |];
-      back =
-        (fun () ->
-          for i = 0 to m - 1 do
-            Tensor.set2 a.grad i cols.(i)
-              (Tensor.get2 a.grad i cols.(i) +. Tensor.get node.grad i)
-          done);
-    }
-  in
-  Tape.push tape node;
-  node
+  let out = alloc tape [| m |] in
+  for i = 0 to m - 1 do
+    Tensor.set out i (Tensor.get2 x i cols.(i))
+  done;
+  mk tape out (fun node ->
+      let gd = (Lazy.force node.grad).Tensor.data in
+      let ag = (Lazy.force a.grad).Tensor.data in
+      let n = x.Tensor.shape.(1) in
+      for i = 0 to m - 1 do
+        let idx = (i * n) + cols.(i) in
+        uset ag idx (uget ag idx +. uget gd i)
+      done)
 
 let slice_cols tape a ~lo ~hi =
   let x = a.value in
@@ -255,61 +286,43 @@ let slice_cols tape a ~lo ~hi =
   if lo < 0 || hi > n || lo >= hi then
     invalid_arg "Autodiff.slice_cols: bad range";
   let w = hi - lo in
-  let out = Tensor.init [| m; w |] (fun i -> Tensor.get2 x (i / w) (lo + (i mod w))) in
-  let rec node =
-    {
-      value = out;
-      grad = Tensor.zeros [| m; w |];
-      back =
-        (fun () ->
-          for i = 0 to m - 1 do
-            for j = 0 to w - 1 do
-              Tensor.set2 a.grad i (lo + j)
-                (Tensor.get2 a.grad i (lo + j) +. Tensor.get2 node.grad i j)
-            done
-          done);
-    }
-  in
-  Tape.push tape node;
-  node
+  let out = Tensor.slice_cols_into ~dst:(alloc tape [| m; w |]) x ~lo ~hi in
+  mk tape out (fun node ->
+      let gd = (Lazy.force node.grad).Tensor.data in
+      let ag = (Lazy.force a.grad).Tensor.data in
+      for i = 0 to m - 1 do
+        let arow = (i * n) + lo and grow = i * w in
+        for j = 0 to w - 1 do
+          uset ag (arow + j) (uget ag (arow + j) +. uget gd (grow + j))
+        done
+      done)
 
 let sum_rows tape a =
   let x = a.value in
   if Array.length x.Tensor.shape <> 2 then
     invalid_arg "Autodiff.sum_rows: expected rank 2";
   let m = x.Tensor.shape.(0) and n = x.Tensor.shape.(1) in
-  let rec node =
-    {
-      value = Tensor.sum_rows x;
-      grad = Tensor.zeros [| m |];
-      back =
-        (fun () ->
-          for i = 0 to m - 1 do
-            let g = Tensor.get node.grad i in
-            for j = 0 to n - 1 do
-              Tensor.set2 a.grad i j (Tensor.get2 a.grad i j +. g)
-            done
-          done);
-    }
-  in
-  Tape.push tape node;
-  node
+  let value = Tensor.sum_rows_into ~dst:(alloc tape [| m |]) x in
+  mk tape value (fun node ->
+      let gd = (Lazy.force node.grad).Tensor.data in
+      let ag = (Lazy.force a.grad).Tensor.data in
+      for i = 0 to m - 1 do
+        let gi = uget gd i in
+        let row = i * n in
+        for j = 0 to n - 1 do
+          uset ag (row + j) (uget ag (row + j) +. gi)
+        done
+      done)
 
 let sum_all tape a =
-  let rec node =
-    {
-      value = Tensor.scalar (Tensor.sum a.value);
-      grad = Tensor.zeros [| 1 |];
-      back =
-        (fun () ->
-          let g = Tensor.get node.grad 0 in
-          for i = 0 to Tensor.numel a.value - 1 do
-            Tensor.set a.grad i (Tensor.get a.grad i +. g)
-          done);
-    }
-  in
-  Tape.push tape node;
-  node
+  let value = alloc tape [| 1 |] in
+  Tensor.set value 0 (Tensor.sum a.value);
+  mk tape value (fun node ->
+      let g = Tensor.get (Lazy.force node.grad) 0 in
+      let ag = (Lazy.force a.grad).Tensor.data in
+      for i = 0 to Tensor.numel a.value - 1 do
+        uset ag i (uget ag i +. g)
+      done)
 
 let mean_all tape a =
   let n = Tensor.numel a.value in
@@ -318,5 +331,6 @@ let mean_all tape a =
 let backward (tape : Tape.t) node =
   if Tensor.numel node.value <> 1 then
     invalid_arg "Autodiff.backward: loss must be a scalar";
-  Tensor.fill_inplace node.grad 1.0;
+  Tensor.Workspace.reset (bw_ws ());
+  Tensor.fill_inplace (Lazy.force node.grad) 1.0;
   List.iter (fun n -> n.back ()) tape.Tape.nodes

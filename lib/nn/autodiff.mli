@@ -22,7 +22,18 @@ end
 module Tape : sig
   type t
 
-  val create : unit -> t
+  val create : ?ws:Tensor.Workspace.t -> unit -> t
+  (** With [~ws], every node value and every forced gradient is drawn
+      from the workspace instead of the heap — a steady-state training
+      step (same network each minibatch) allocates nothing. [create]
+      resets [ws], invalidating buffers handed out to the previous tape
+      on the same workspace: extract anything you keep (scalars,
+      copies) before starting the next tape. Results are bit-identical
+      to the allocating tape. Without [~ws], fresh allocation. *)
+
+  val ws : t -> Tensor.Workspace.t option
+  (** The arena this tape draws from, for staging related buffers
+      (observation matrices, mask penalties) with the same lifetime. *)
 
   val length : t -> int
   (** Number of recorded nodes (for tests). *)

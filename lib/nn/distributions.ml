@@ -15,13 +15,24 @@ let masked_log_probs tape logits ~mask =
         invalid_arg "Distributions.masked_log_probs: empty action mask")
     mask;
   let penalty =
-    Tensor.init [| m; k |] (fun i ->
-        if mask.(i / k).(i mod k) then 0.0 else mask_penalty)
+    match Autodiff.Tape.ws tape with
+    | None -> Tensor.zeros [| m; k |]
+    | Some ws ->
+        let t = Tensor.Workspace.get ws [| m; k |] in
+        Tensor.fill_inplace t 0.0;
+        t
   in
+  for i = 0 to m - 1 do
+    let row = i * k and mrow = mask.(i) in
+    for j = 0 to k - 1 do
+      if not (Array.unsafe_get mrow j) then
+        Tensor.unsafe_set penalty (row + j) mask_penalty
+    done
+  done;
   let masked = Autodiff.add tape logits (Autodiff.const tape penalty) in
   Autodiff.log_softmax tape masked
 
-let masked_log_probs_values logits ~mask =
+let masked_log_probs_values ?ws logits ~mask =
   if Array.length logits.Tensor.shape <> 2 then
     invalid_arg "Distributions.masked_log_probs: expected rank 2";
   let m = logits.Tensor.shape.(0) and k = logits.Tensor.shape.(1) in
@@ -37,35 +48,46 @@ let masked_log_probs_values logits ~mask =
   (* Same numerics as the tape path: add the penalty, then the row-wise
      max-shift log-softmax of [Autodiff.log_softmax], in the same
      accumulation order, so batched inference log-probs are bit-equal to
-     the training-time values. *)
-  let out = Tensor.zeros [| m; k |] in
+     the training-time values. The masked logit row is staged once in a
+     scratch buffer (it is a pure function of the inputs, so reading the
+     staged value three times equals recomputing it three times). *)
+  let out =
+    match ws with
+    | Some ws -> Tensor.Workspace.get ws [| m; k |]
+    | None -> Tensor.zeros [| m; k |]
+  in
+  let masked = Array.make k 0.0 in
   for i = 0 to m - 1 do
-    let masked j =
-      Tensor.get2 logits i j +. (if mask.(i).(j) then 0.0 else mask_penalty)
-    in
+    let row = i * k and mrow = mask.(i) in
+    for j = 0 to k - 1 do
+      Array.unsafe_set masked j
+        (Tensor.unsafe_get logits (row + j)
+        +. if Array.unsafe_get mrow j then 0.0 else mask_penalty)
+    done;
     let row_max = ref neg_infinity in
     for j = 0 to k - 1 do
-      row_max := Float.max !row_max (masked j)
+      row_max := Float.max !row_max (Array.unsafe_get masked j)
     done;
     let sum = ref 0.0 in
     for j = 0 to k - 1 do
-      sum := !sum +. exp (masked j -. !row_max)
+      sum := !sum +. exp (Array.unsafe_get masked j -. !row_max)
     done;
     let log_z = !row_max +. log !sum in
     for j = 0 to k - 1 do
-      Tensor.set2 out i j (masked j -. log_z)
+      Tensor.unsafe_set out (row + j) (Array.unsafe_get masked j -. log_z)
     done
   done;
   out
 
 let sample rng log_probs row =
   let k = log_probs.Tensor.shape.(1) in
+  let base = row * k in
   let u = Util.Rng.uniform rng in
   let acc = ref 0.0 in
   let chosen = ref (k - 1) in
   (try
      for j = 0 to k - 1 do
-       acc := !acc +. exp (Tensor.get2 log_probs row j);
+       acc := !acc +. exp (Tensor.unsafe_get log_probs (base + j));
        if u < !acc then begin
          chosen := j;
          raise Exit
@@ -78,15 +100,19 @@ let sample_tempered rng log_probs row ~temperature =
   if temperature <= 0.0 then
     invalid_arg "Distributions.sample_tempered: temperature must be positive";
   let k = log_probs.Tensor.shape.(1) in
+  let base = row * k in
   (* renormalize exp(lp / T) with a max-shift for stability *)
   let row_max = ref neg_infinity in
   for j = 0 to k - 1 do
-    row_max := Float.max !row_max (Tensor.get2 log_probs row j /. temperature)
+    row_max :=
+      Float.max !row_max (Tensor.unsafe_get log_probs (base + j) /. temperature)
   done;
   let z = ref 0.0 in
   let weights = Array.make k 0.0 in
   for j = 0 to k - 1 do
-    let w = exp ((Tensor.get2 log_probs row j /. temperature) -. !row_max) in
+    let w =
+      exp ((Tensor.unsafe_get log_probs (base + j) /. temperature) -. !row_max)
+    in
     weights.(j) <- w;
     z := !z +. w
   done;

@@ -15,11 +15,13 @@ val masked_log_probs :
     entries pushed to ~-inf. Each mask row must allow at least one
     action. *)
 
-val masked_log_probs_values : Tensor.t -> mask:bool array array -> Tensor.t
+val masked_log_probs_values :
+  ?ws:Tensor.Workspace.t -> Tensor.t -> mask:bool array array -> Tensor.t
 (** Tape-free twin of {!masked_log_probs} for batched inference: same
     validation, same penalty, same max-shift log-softmax numerics, but
     on raw tensors with no gradient recording. Row [i] depends only on
-    logits row [i] and mask row [i]. *)
+    logits row [i] and mask row [i]. With [?ws] the result lives in the
+    workspace (valid until its next [reset]). *)
 
 val sample_batch : Util.Rng.t array -> Tensor.t -> int array
 (** [sample_batch rngs log_probs] draws one action per row of a

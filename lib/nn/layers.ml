@@ -47,19 +47,24 @@ let forward_mlp tape m x =
    depends only on the matching input row, so a batched forward equals
    the per-row forwards exactly (same float accumulation order). *)
 
-let forward_linear_values l x =
-  Tensor.add_bias (Tensor.matmul x l.w.Autodiff.Param.data) l.b.Autodiff.Param.data
+let forward_linear_values ?ws l x =
+  let w = l.w.Autodiff.Param.data and b = l.b.Autodiff.Param.data in
+  match ws with
+  | None -> Tensor.add_bias (Tensor.matmul x w) b
+  | Some ws ->
+      (* One workspace buffer per layer output; the matmul lands in it
+         and the bias is folded in place ([add_bias_into] with dst = x
+         reads each cell once before overwriting it). *)
+      let dst = Tensor.Workspace.get ws [| x.Tensor.shape.(0); w.Tensor.shape.(1) |] in
+      Tensor.add_bias_into ~dst (Tensor.matmul_into ~dst x w) b
 
-let forward_batch m x =
+let forward_batch ?ws m x =
   let n = List.length m.layers in
   let rec go i x = function
     | [] -> x
     | l :: rest ->
-        let y = forward_linear_values l x in
-        let y =
-          if i < n - 1 then Tensor.map (fun v -> if v > 0.0 then v else 0.0) y
-          else y
-        in
+        let y = forward_linear_values ?ws l x in
+        let y = if i < n - 1 then Tensor.relu_into ~dst:y y else y in
         go (i + 1) y rest
   in
   go 0 x m.layers

@@ -21,14 +21,18 @@ val mlp : Util.Rng.t -> dims:int list -> string -> mlp
 
 val forward_mlp : Autodiff.Tape.t -> mlp -> Autodiff.node -> Autodiff.node
 
-val forward_linear_values : linear -> Tensor.t -> Tensor.t
-(** Tape-free [x * w + b] on raw tensors — no gradients recorded. *)
+val forward_linear_values : ?ws:Tensor.Workspace.t -> linear -> Tensor.t -> Tensor.t
+(** Tape-free [x * w + b] on raw tensors — no gradients recorded. With
+    [?ws] the result lives in the workspace (valid until its next
+    [reset]) and the call allocates nothing in steady state. *)
 
-val forward_batch : mlp -> Tensor.t -> Tensor.t
+val forward_batch : ?ws:Tensor.Workspace.t -> mlp -> Tensor.t -> Tensor.t
 (** Tape-free MLP forward for inference. Produces bit-identical values
     to {!forward_mlp} (same kernels, same accumulation order), and each
     output row depends only on the same input row — so one call on a
-    stacked \[batch; in_dim\] matrix equals [batch] single-row calls. *)
+    stacked \[batch; in_dim\] matrix equals [batch] single-row calls.
+    With [?ws], activations live in the workspace — including the
+    returned tensor: copy it out if it must outlive the next [reset]. *)
 
 val mlp_params : mlp -> Autodiff.Param.t list
 val param_count : Autodiff.Param.t list -> int

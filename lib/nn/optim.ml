@@ -1,3 +1,11 @@
+(* Without flambda a cross-module [Tensor.unsafe_get] is a real call
+   that boxes its float result. The loops below touch every parameter
+   element every step, so they fetch the raw buffer once and use the
+   Bigarray primitives, which compile to inline loads/stores from any
+   module. *)
+let uget (b : Tensor.buf) i : float = Bigarray.Array1.unsafe_get b i
+let uset (b : Tensor.buf) i (v : float) = Bigarray.Array1.unsafe_set b i v
+
 type algo =
   | Sgd
   | Adam of {
@@ -39,9 +47,9 @@ let step opt =
   | Sgd ->
       Array.iter
         (fun (p : Autodiff.Param.t) ->
+          let d = p.data.Tensor.data and g = p.grad.Tensor.data in
           for i = 0 to Tensor.numel p.data - 1 do
-            Tensor.set p.data i
-              (Tensor.get p.data i -. (opt.lr *. Tensor.get p.grad i))
+            uset d i (uget d i -. (opt.lr *. uget g i))
           done)
         opt.params
   | Adam a ->
@@ -51,19 +59,17 @@ let step opt =
       let bc2 = 1.0 -. (a.beta2 ** t) in
       Array.iteri
         (fun k (p : Autodiff.Param.t) ->
-          let m = a.m.(k) and v = a.v.(k) in
+          let md = a.m.(k).Tensor.data and vd = a.v.(k).Tensor.data in
+          let d = p.data.Tensor.data and gd = p.grad.Tensor.data in
           for i = 0 to Tensor.numel p.data - 1 do
-            let g = Tensor.get p.grad i in
-            let mi = (a.beta1 *. Tensor.get m i) +. ((1.0 -. a.beta1) *. g) in
-            let vi =
-              (a.beta2 *. Tensor.get v i) +. ((1.0 -. a.beta2) *. g *. g)
-            in
-            Tensor.set m i mi;
-            Tensor.set v i vi;
+            let g = uget gd i in
+            let mi = (a.beta1 *. uget md i) +. ((1.0 -. a.beta1) *. g) in
+            let vi = (a.beta2 *. uget vd i) +. ((1.0 -. a.beta2) *. g *. g) in
+            uset md i mi;
+            uset vd i vi;
             let m_hat = mi /. bc1 in
             let v_hat = vi /. bc2 in
-            Tensor.set p.data i
-              (Tensor.get p.data i -. (opt.lr *. m_hat /. (sqrt v_hat +. a.eps)))
+            uset d i (uget d i -. (opt.lr *. m_hat /. (sqrt v_hat +. a.eps)))
           done)
         opt.params
 
@@ -108,8 +114,9 @@ let clip_grad_norm opt max_norm =
   let sq = ref 0.0 in
   Array.iter
     (fun (p : Autodiff.Param.t) ->
+      let gd = p.grad.Tensor.data in
       for i = 0 to Tensor.numel p.grad - 1 do
-        let g = Tensor.get p.grad i in
+        let g = uget gd i in
         sq := !sq +. (g *. g)
       done)
     opt.params;

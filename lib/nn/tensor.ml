@@ -1,235 +1,738 @@
-type t = { shape : int array; data : float array }
+(* Dense float64 tensors on Bigarray storage (c_layout, row-major).
+
+   Two tiers of kernels:
+
+   - allocating ops ([matmul], [add], ...) keep the historical API and
+     allocate a fresh result per call;
+   - destination-passing [_into] twins write into a caller-supplied
+     tensor (usually drawn from a {!Workspace} arena) and allocate
+     nothing on the OCaml heap beyond a few words.
+
+   Every kernel pair is bit-identical: the [_into] variant and its
+   allocating twin perform the same float operations in the same order,
+   and the register-/cache-blocked matmul preserves the exact
+   accumulation order of the naive triple loop (for each output element
+   the reduction index p ascends 0..k-1, added one product at a time),
+   so blocking and unrolling are invisible at the bit level. This is
+   what keeps the jobs=1-vs-N byte-equality, checkpoint-resume and
+   serve-determinism contracts intact (docs/performance.md). *)
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+(* The runtime paces custom-block memory (which Bigarray payloads are)
+   as if it were a scarce external resource: with the default
+   [custom_major_ratio] (44), once live tensors outweigh a small OCaml
+   heap the GC forces near-continuous major collections, and on
+   multi-domain runs every forced major is a stop-the-world
+   synchronization — measured 2x wall-clock on --jobs 4 training.
+   Tensor payloads are plain memory, so pace them like memory. The
+   larger minor heap (32 MB/domain, set before any domain spawns)
+   spaces out the stop-the-world minor collections that multi-domain
+   runs on few cores otherwise spend their time synchronizing on.
+   MLIR_RL_GC_DEFAULT=1 restores the runtime defaults. *)
+let () =
+  if Sys.getenv_opt "MLIR_RL_GC_DEFAULT" = None then
+    Gc.set
+      {
+        (Gc.get ()) with
+        Gc.minor_heap_size = 4194304;
+        custom_major_ratio = 10000;
+        custom_minor_ratio = 10000;
+        custom_minor_max_size = 65536;
+      }
+
+type t = { shape : int array; data : buf }
+
+let uget : buf -> int -> float = Bigarray.Array1.unsafe_get
+let uset : buf -> int -> float -> unit = Bigarray.Array1.unsafe_set
+
+let alloc_buf n : buf = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
 
 let product = Array.fold_left ( * ) 1
 
+(* Fresh tensor with unspecified contents (kernels overwrite every
+   element before it escapes). *)
+let unsafe_create shape = { shape = Array.copy shape; data = alloc_buf (product shape) }
+
 let create shape v =
-  if Array.exists (fun d -> d <= 0) shape then
-    invalid_arg "Tensor.create: non-positive dimension";
-  { shape = Array.copy shape; data = Array.make (product shape) v }
+  if Array.exists (fun d -> d < 0) shape then
+    invalid_arg "Tensor.create: negative dimension";
+  let t = unsafe_create shape in
+  Bigarray.Array1.fill t.data v;
+  t
 
 let zeros shape = create shape 0.0
 let ones shape = create shape 1.0
 
+let numel t = Bigarray.Array1.dim t.data
+let dims t = Array.copy t.shape
+
 let of_array shape data =
   if Array.length data <> product shape then
     invalid_arg "Tensor.of_array: size mismatch";
-  { shape = Array.copy shape; data = Array.copy data }
+  let t = unsafe_create shape in
+  for i = 0 to Array.length data - 1 do
+    uset t.data i (Array.unsafe_get data i)
+  done;
+  t
+
+let to_array t =
+  Array.init (numel t) (fun i -> uget t.data i)
 
 let init shape f =
-  { shape = Array.copy shape; data = Array.init (product shape) f }
+  let t = unsafe_create shape in
+  for i = 0 to numel t - 1 do
+    uset t.data i (f i)
+  done;
+  t
 
-let scalar v = { shape = [| 1 |]; data = [| v |] }
+let scalar v = of_array [| 1 |] [| v |]
 
-let numel t = Array.length t.data
-let dims t = Array.copy t.shape
-let copy t = { shape = Array.copy t.shape; data = Array.copy t.data }
+let blit src dst =
+  if numel src <> numel dst then invalid_arg "Tensor.blit: size mismatch";
+  Bigarray.Array1.blit src.data dst.data
+
+let copy t =
+  let out = unsafe_create t.shape in
+  Bigarray.Array1.blit t.data out.data;
+  out
 
 let reshape shape t =
   if product shape <> numel t then invalid_arg "Tensor.reshape: size mismatch";
-  { shape = Array.copy shape; data = Array.copy t.data }
+  let out = copy t in
+  { out with shape = Array.copy shape }
 
-let get t i = t.data.(i)
-let set t i v = t.data.(i) <- v
+let get t i = Bigarray.Array1.get t.data i
+let set t i v = Bigarray.Array1.set t.data i v
+let[@inline always] unsafe_get t i = uget t.data i
+let[@inline always] unsafe_set t i v = uset t.data i v
 
 let check_rank2 name t =
   if Array.length t.shape <> 2 then invalid_arg (name ^ ": expected rank 2")
 
 let get2 t i j =
   check_rank2 "Tensor.get2" t;
-  t.data.((i * t.shape.(1)) + j)
+  Bigarray.Array1.get t.data ((i * t.shape.(1)) + j)
 
 let set2 t i j v =
   check_rank2 "Tensor.set2" t;
-  t.data.((i * t.shape.(1)) + j) <- v
+  Bigarray.Array1.set t.data ((i * t.shape.(1)) + j) v
 
-let matmul a b =
-  check_rank2 "Tensor.matmul" a;
-  check_rank2 "Tensor.matmul" b;
+(* -- workspace arena ---------------------------------------------------
+
+   A [Workspace.t] owns a pool of Bigarray buffers handed out in call
+   order. [reset] rewinds the cursor without freeing, so a steady-state
+   caller (one [reset] per inference call, the same [get] sequence every
+   time) reuses the same buffers forever: no per-op allocation, no
+   minor-heap churn, no major-heap growth. Tensors returned by [get]
+   are only valid until the owner's next [reset]. *)
+
+module Workspace = struct
+  type nonrec t = {
+    mutable slots : buf array;  (* backing buffers, in hand-out order *)
+    mutable used : int;  (* cursor into [slots] *)
+    mutable grabs : int;  (* total [get] calls (stats) *)
+    mutable reallocs : int;  (* [get]s that had to allocate (stats) *)
+  }
+
+  let create () = { slots = [||]; used = 0; grabs = 0; reallocs = 0 }
+  let reset ws = ws.used <- 0
+
+  let get ws shape =
+    let n = product shape in
+    ws.grabs <- ws.grabs + 1;
+    let slot = ws.used in
+    ws.used <- slot + 1;
+    if slot >= Array.length ws.slots then begin
+      ws.reallocs <- ws.reallocs + 1;
+      let buf = alloc_buf n in
+      let slots = Array.make (slot + 1) buf in
+      Array.blit ws.slots 0 slots 0 (Array.length ws.slots);
+      ws.slots <- slots;
+      { shape = Array.copy shape; data = buf }
+    end
+    else begin
+      let buf = ws.slots.(slot) in
+      let cap = Bigarray.Array1.dim buf in
+      if cap = n then { shape = Array.copy shape; data = buf }
+      else if cap > n then
+        (* Capacity reuse: a prefix view over the pooled buffer, no
+           copy. Batch sizes shrink as episodes in a slab finish, so a
+           slot sized for the largest batch serves every smaller one. *)
+        { shape = Array.copy shape; data = Bigarray.Array1.sub buf 0 n }
+      else begin
+        ws.reallocs <- ws.reallocs + 1;
+        let buf = alloc_buf n in
+        ws.slots.(slot) <- buf;
+        { shape = Array.copy shape; data = buf }
+      end
+    end
+
+  let slots ws = Array.length ws.slots
+  let reallocs ws = ws.reallocs
+  let grabs ws = ws.grabs
+
+  let live_bytes ws =
+    Array.fold_left (fun acc b -> acc + (8 * Bigarray.Array1.dim b)) 0 ws.slots
+end
+
+(* -- matmul ------------------------------------------------------------ *)
+
+(* Cache-tile edge for the blocked matmul, in elements per dimension.
+   128 x 128 doubles per B tile (128 KiB) measured fastest on the
+   bench/micro sweep; tunable via MLIR_RL_MM_BLOCK or
+   [set_matmul_block]. Blocking never changes results (see the header
+   comment), only locality. *)
+let default_matmul_block = 128
+let matmul_block_ref = ref default_matmul_block
+
+let set_matmul_block b =
+  if b < 4 then invalid_arg "Tensor.set_matmul_block: block must be >= 4";
+  matmul_block_ref := b
+
+let matmul_block () = !matmul_block_ref
+
+let () =
+  match Sys.getenv_opt "MLIR_RL_MM_BLOCK" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some b when b >= 4 -> matmul_block_ref := b
+    | _ -> ())
+  | None -> ()
+
+(* Register-blocked panel: out rows [i] over p in [p0,p1), j in [j0,j1),
+   p unrolled by 4 (one chained add per product, ascending p) and j by 4
+   (distinct output elements). Accumulation order per output element is
+   exactly the naive kernel's. *)
+let matmul_panel (a : buf) (b : buf) (out : buf) ~arow ~orow ~n ~p0 ~p1 ~j0 ~j1 =
+  let p4 = p0 + ((p1 - p0) / 4 * 4) in
+  let j4 = j0 + ((j1 - j0) / 4 * 4) in
+  let p = ref p0 in
+  while !p < p4 do
+    let q = !p in
+    let av0 = uget a (arow + q)
+    and av1 = uget a (arow + q + 1)
+    and av2 = uget a (arow + q + 2)
+    and av3 = uget a (arow + q + 3) in
+    let b0 = q * n and b1 = (q + 1) * n and b2 = (q + 2) * n and b3 = (q + 3) * n in
+    let j = ref j0 in
+    while !j < j4 do
+      let s = !j in
+      let acc0 =
+        (((uget out (orow + s) +. (av0 *. uget b (b0 + s)))
+          +. (av1 *. uget b (b1 + s)))
+         +. (av2 *. uget b (b2 + s)))
+        +. (av3 *. uget b (b3 + s))
+      in
+      let acc1 =
+        (((uget out (orow + s + 1) +. (av0 *. uget b (b0 + s + 1)))
+          +. (av1 *. uget b (b1 + s + 1)))
+         +. (av2 *. uget b (b2 + s + 1)))
+        +. (av3 *. uget b (b3 + s + 1))
+      in
+      let acc2 =
+        (((uget out (orow + s + 2) +. (av0 *. uget b (b0 + s + 2)))
+          +. (av1 *. uget b (b1 + s + 2)))
+         +. (av2 *. uget b (b2 + s + 2)))
+        +. (av3 *. uget b (b3 + s + 2))
+      in
+      let acc3 =
+        (((uget out (orow + s + 3) +. (av0 *. uget b (b0 + s + 3)))
+          +. (av1 *. uget b (b1 + s + 3)))
+         +. (av2 *. uget b (b2 + s + 3)))
+        +. (av3 *. uget b (b3 + s + 3))
+      in
+      uset out (orow + s) acc0;
+      uset out (orow + s + 1) acc1;
+      uset out (orow + s + 2) acc2;
+      uset out (orow + s + 3) acc3;
+      j := s + 4
+    done;
+    for s = j4 to j1 - 1 do
+      uset out (orow + s)
+        ((((uget out (orow + s) +. (av0 *. uget b (b0 + s)))
+           +. (av1 *. uget b (b1 + s)))
+          +. (av2 *. uget b (b2 + s)))
+        +. (av3 *. uget b (b3 + s)))
+    done;
+    p := q + 4
+  done;
+  for q = p4 to p1 - 1 do
+    let av = uget a (arow + q) in
+    let brow = q * n in
+    for s = j0 to j1 - 1 do
+      uset out (orow + s) (uget out (orow + s) +. (av *. uget b (brow + s)))
+    done
+  done
+
+let matmul_dims name a b =
+  check_rank2 name a;
+  check_rank2 name b;
   let m = a.shape.(0) and k = a.shape.(1) in
   let k' = b.shape.(0) and n = b.shape.(1) in
-  if k <> k' then invalid_arg "Tensor.matmul: inner dimension mismatch";
-  let out = Array.make (m * n) 0.0 in
-  let ad = a.data and bd = b.data in
-  (* No zero-skip here: NN weights and activations are dense, so an
-     [if av <> 0.0] per element mispredicts far more than it saves
-     (bench/micro.ml "matmul dense vs zero-skip" quantifies it). The
-     transpose-A variant keeps its skip — it runs on backward grads,
-     which masking and ReLU do zero out in practice. *)
-  for i = 0 to m - 1 do
-    let arow = i * k in
-    let orow = i * n in
-    for p = 0 to k - 1 do
-      let av = Array.unsafe_get ad (arow + p) in
-      let brow = p * n in
-      for j = 0 to n - 1 do
-        Array.unsafe_set out (orow + j)
-          (Array.unsafe_get out (orow + j)
-          +. (av *. Array.unsafe_get bd (brow + j)))
-      done
-    done
-  done;
-  { shape = [| m; n |]; data = out }
+  if k <> k' then invalid_arg (name ^ ": inner dimension mismatch");
+  (m, k, n)
 
-let matmul_transpose_a a b =
-  (* a : [k; m], b : [k; n] -> [m; n] *)
+let check_dst name dst m n =
+  check_rank2 name dst;
+  if dst.shape.(0) <> m || dst.shape.(1) <> n then
+    invalid_arg (name ^ ": destination shape mismatch")
+
+let matmul_into ~dst a b =
+  let m, k, n = matmul_dims "Tensor.matmul_into" a b in
+  check_dst "Tensor.matmul_into" dst m n;
+  if dst.data == a.data || dst.data == b.data then
+    invalid_arg "Tensor.matmul_into: dst aliases an operand";
+  let ad = a.data and bd = b.data and out = dst.data in
+  Bigarray.Array1.fill out 0.0;
+  let blk = !matmul_block_ref in
+  if k <= blk && n <= blk then
+    for i = 0 to m - 1 do
+      matmul_panel ad bd out ~arow:(i * k) ~orow:(i * n) ~n ~p0:0 ~p1:k ~j0:0
+        ~j1:n
+    done
+  else begin
+    (* p tiles outermost, then j tiles, rows streamed inside: for any
+       output element the p tiles (and p within a tile) still ascend, so
+       the accumulation order is the naive kernel's. *)
+    let pp = ref 0 in
+    while !pp < k do
+      let p1 = min k (!pp + blk) in
+      let jj = ref 0 in
+      while !jj < n do
+        let j1 = min n (!jj + blk) in
+        for i = 0 to m - 1 do
+          matmul_panel ad bd out ~arow:(i * k) ~orow:(i * n) ~n ~p0:!pp ~p1
+            ~j0:!jj ~j1
+        done;
+        jj := j1
+      done;
+      pp := p1
+    done
+  end;
+  dst
+
+let matmul a b =
+  let m, _, n = matmul_dims "Tensor.matmul" a b in
+  matmul_into ~dst:(unsafe_create [| m; n |]) a b
+
+(* a : [k; m], b : [k; n] -> [m; n]. The zero-skip guard stays: this
+   kernel runs on backward grads, which masking and ReLU do zero out in
+   practice (the forward matmul is dense and has no guard). *)
+let matmul_transpose_a_dims a b =
   check_rank2 "Tensor.matmul_transpose_a" a;
   check_rank2 "Tensor.matmul_transpose_a" b;
   let k = a.shape.(0) and m = a.shape.(1) in
   let k' = b.shape.(0) and n = b.shape.(1) in
   if k <> k' then invalid_arg "Tensor.matmul_transpose_a: dimension mismatch";
-  let out = Array.make (m * n) 0.0 in
-  let ad = a.data and bd = b.data in
+  (m, k, n)
+
+let matmul_transpose_a_into ~dst a b =
+  let m, k, n = matmul_transpose_a_dims a b in
+  check_dst "Tensor.matmul_transpose_a_into" dst m n;
+  let ad = a.data and bd = b.data and out = dst.data in
+  Bigarray.Array1.fill out 0.0;
   for p = 0 to k - 1 do
     let arow = p * m and brow = p * n in
     for i = 0 to m - 1 do
-      let av = Array.unsafe_get ad (arow + i) in
+      let av = uget ad (arow + i) in
       if av <> 0.0 then begin
         let orow = i * n in
         for j = 0 to n - 1 do
-          Array.unsafe_set out (orow + j)
-            (Array.unsafe_get out (orow + j)
-            +. (av *. Array.unsafe_get bd (brow + j)))
+          uset out (orow + j) (uget out (orow + j) +. (av *. uget bd (brow + j)))
         done
       end
     done
   done;
-  { shape = [| m; n |]; data = out }
+  dst
 
-let matmul_transpose_b a b =
-  (* a : [m; k], b : [n; k] -> [m; n] *)
+let matmul_transpose_a a b =
+  let m, _, n = matmul_transpose_a_dims a b in
+  matmul_transpose_a_into ~dst:(unsafe_create [| m; n |]) a b
+
+(* a : [m; k], b : [n; k] -> [m; n]; per-element register accumulator
+   over ascending p (p unrolled by 4, adds chained left-to-right). *)
+let matmul_transpose_b_dims a b =
   check_rank2 "Tensor.matmul_transpose_b" a;
   check_rank2 "Tensor.matmul_transpose_b" b;
   let m = a.shape.(0) and k = a.shape.(1) in
   let n = b.shape.(0) and k' = b.shape.(1) in
   if k <> k' then invalid_arg "Tensor.matmul_transpose_b: dimension mismatch";
-  let out = Array.make (m * n) 0.0 in
-  let ad = a.data and bd = b.data in
+  (m, k, n)
+
+let transpose_b_cell (ad : buf) (bd : buf) ~arow ~brow ~k =
+  let k4 = k / 4 * 4 in
+  let acc = ref 0.0 in
+  let p = ref 0 in
+  while !p < k4 do
+    let q = !p in
+    acc :=
+      (((!acc +. (uget ad (arow + q) *. uget bd (brow + q)))
+        +. (uget ad (arow + q + 1) *. uget bd (brow + q + 1)))
+       +. (uget ad (arow + q + 2) *. uget bd (brow + q + 2)))
+      +. (uget ad (arow + q + 3) *. uget bd (brow + q + 3));
+    p := q + 4
+  done;
+  for q = k4 to k - 1 do
+    acc := !acc +. (uget ad (arow + q) *. uget bd (brow + q))
+  done;
+  !acc
+
+let matmul_transpose_b_into ~dst a b =
+  let m, k, n = matmul_transpose_b_dims a b in
+  check_dst "Tensor.matmul_transpose_b_into" dst m n;
+  let ad = a.data and bd = b.data and out = dst.data in
   for i = 0 to m - 1 do
-    let arow = i * k in
-    let orow = i * n in
+    let arow = i * k and orow = i * n in
     for j = 0 to n - 1 do
-      let brow = j * k in
-      let acc = ref 0.0 in
-      for p = 0 to k - 1 do
-        acc :=
-          !acc
-          +. (Array.unsafe_get ad (arow + p) *. Array.unsafe_get bd (brow + p))
-      done;
-      Array.unsafe_set out (orow + j) !acc
+      uset out (orow + j) (transpose_b_cell ad bd ~arow ~brow:(j * k) ~k)
     done
   done;
-  { shape = [| m; n |]; data = out }
+  dst
+
+let matmul_transpose_b a b =
+  let m, _, n = matmul_transpose_b_dims a b in
+  matmul_transpose_b_into ~dst:(unsafe_create [| m; n |]) a b
+
+(* dst += a * b^T, the [Autodiff.matmul] backward step for dA. The cell
+   sum is formed in a register starting from 0 and added to [dst] once,
+   exactly like the historical "allocate the product, then
+   [add_inplace]" pair. *)
+(* Four adjacent cells of one output row, interleaved: each cell keeps
+   its own accumulator with exactly [transpose_b_cell]'s chained-add
+   order, but the four independent chains overlap in the pipeline
+   instead of serializing on one accumulator's add latency (~4x the
+   throughput of cell-at-a-time). Cells are independent, so the
+   interleaving cannot change any cell's result. *)
+let transpose_b_row4 (ad : buf) (bd : buf) (out : buf) ~arow ~orow ~j ~k =
+  let brow0 = j * k in
+  let brow1 = brow0 + k in
+  let brow2 = brow1 + k in
+  let brow3 = brow2 + k in
+  let k4 = k / 4 * 4 in
+  let acc0 = ref 0.0 and acc1 = ref 0.0 and acc2 = ref 0.0 and acc3 = ref 0.0 in
+  let p = ref 0 in
+  while !p < k4 do
+    let q = !p in
+    let a0 = uget ad (arow + q)
+    and a1 = uget ad (arow + q + 1)
+    and a2 = uget ad (arow + q + 2)
+    and a3 = uget ad (arow + q + 3) in
+    acc0 :=
+      (((!acc0 +. (a0 *. uget bd (brow0 + q)))
+        +. (a1 *. uget bd (brow0 + q + 1)))
+       +. (a2 *. uget bd (brow0 + q + 2)))
+      +. (a3 *. uget bd (brow0 + q + 3));
+    acc1 :=
+      (((!acc1 +. (a0 *. uget bd (brow1 + q)))
+        +. (a1 *. uget bd (brow1 + q + 1)))
+       +. (a2 *. uget bd (brow1 + q + 2)))
+      +. (a3 *. uget bd (brow1 + q + 3));
+    acc2 :=
+      (((!acc2 +. (a0 *. uget bd (brow2 + q)))
+        +. (a1 *. uget bd (brow2 + q + 1)))
+       +. (a2 *. uget bd (brow2 + q + 2)))
+      +. (a3 *. uget bd (brow2 + q + 3));
+    acc3 :=
+      (((!acc3 +. (a0 *. uget bd (brow3 + q)))
+        +. (a1 *. uget bd (brow3 + q + 1)))
+       +. (a2 *. uget bd (brow3 + q + 2)))
+      +. (a3 *. uget bd (brow3 + q + 3));
+    p := q + 4
+  done;
+  for q = k4 to k - 1 do
+    let av = uget ad (arow + q) in
+    acc0 := !acc0 +. (av *. uget bd (brow0 + q));
+    acc1 := !acc1 +. (av *. uget bd (brow1 + q));
+    acc2 := !acc2 +. (av *. uget bd (brow2 + q));
+    acc3 := !acc3 +. (av *. uget bd (brow3 + q))
+  done;
+  uset out (orow + j) (uget out (orow + j) +. !acc0);
+  uset out (orow + j + 1) (uget out (orow + j + 1) +. !acc1);
+  uset out (orow + j + 2) (uget out (orow + j + 2) +. !acc2);
+  uset out (orow + j + 3) (uget out (orow + j + 3) +. !acc3)
+
+let matmul_transpose_b_addto ~dst a b =
+  let m, k, n = matmul_transpose_b_dims a b in
+  check_dst "Tensor.matmul_transpose_b_addto" dst m n;
+  let ad = a.data and bd = b.data and out = dst.data in
+  let n4 = n / 4 * 4 in
+  for i = 0 to m - 1 do
+    let arow = i * k and orow = i * n in
+    let j = ref 0 in
+    while !j < n4 do
+      transpose_b_row4 ad bd out ~arow ~orow ~j:!j ~k;
+      j := !j + 4
+    done;
+    for j = n4 to n - 1 do
+      uset out (orow + j)
+        (uget out (orow + j) +. transpose_b_cell ad bd ~arow ~brow:(j * k) ~k)
+    done
+  done
+
+(* -- row/column kernels ------------------------------------------------ *)
+
+let slice_cols_into ~dst t ~lo ~hi =
+  check_rank2 "Tensor.slice_cols_into" t;
+  let m = t.shape.(0) and n = t.shape.(1) in
+  if lo < 0 || hi > n || lo >= hi then
+    invalid_arg "Tensor.slice_cols_into: bad column range";
+  let w = hi - lo in
+  check_dst "Tensor.slice_cols_into" dst m w;
+  for i = 0 to m - 1 do
+    Bigarray.Array1.blit
+      (Bigarray.Array1.sub t.data ((i * n) + lo) w)
+      (Bigarray.Array1.sub dst.data (i * w) w)
+  done;
+  dst
 
 let slice_cols t ~lo ~hi =
   check_rank2 "Tensor.slice_cols" t;
   let m = t.shape.(0) and n = t.shape.(1) in
   if lo < 0 || hi > n || lo >= hi then
     invalid_arg "Tensor.slice_cols: bad column range";
-  let w = hi - lo in
-  let out = Array.make (m * w) 0.0 in
+  slice_cols_into ~dst:(unsafe_create [| m; hi - lo |]) t ~lo ~hi
+
+let transpose_into ~dst t =
+  check_rank2 "Tensor.transpose_into" t;
+  let m = t.shape.(0) and n = t.shape.(1) in
+  check_dst "Tensor.transpose_into" dst n m;
+  if dst.data == t.data then invalid_arg "Tensor.transpose_into: dst aliases src";
+  let src = t.data and out = dst.data in
   for i = 0 to m - 1 do
-    Array.blit t.data ((i * n) + lo) out (i * w) w
+    let row = i * n in
+    for j = 0 to n - 1 do
+      uset out ((j * m) + i) (uget src (row + j))
+    done
   done;
-  { shape = [| m; w |]; data = out }
+  dst
 
 let transpose t =
   check_rank2 "Tensor.transpose" t;
-  let m = t.shape.(0) and n = t.shape.(1) in
-  let out = Array.make (m * n) 0.0 in
-  for i = 0 to m - 1 do
-    for j = 0 to n - 1 do
-      out.((j * m) + i) <- t.data.((i * n) + j)
-    done
-  done;
-  { shape = [| n; m |]; data = out }
-
-let map f t = { shape = Array.copy t.shape; data = Array.map f t.data }
+  transpose_into ~dst:(unsafe_create [| t.shape.(1); t.shape.(0) |]) t
 
 let same_shape a b = a.shape = b.shape
 
+let map_into f ~dst t =
+  if not (same_shape dst t) then invalid_arg "Tensor.map_into: shape mismatch";
+  let src = t.data and out = dst.data in
+  for i = 0 to numel t - 1 do
+    uset out i (f (uget src i))
+  done;
+  dst
+
+let map f t = map_into f ~dst:(unsafe_create t.shape) t
+
+let relu_into ~dst t =
+  if not (same_shape dst t) then invalid_arg "Tensor.relu_into: shape mismatch";
+  let src = t.data and out = dst.data in
+  for i = 0 to numel t - 1 do
+    let v = uget src i in
+    uset out i (if v > 0.0 then v else 0.0)
+  done;
+  dst
+
+let relu t = relu_into ~dst:(unsafe_create t.shape) t
+
+let map2_into f ~dst a b =
+  if not (same_shape a b) then invalid_arg "Tensor.map2: shape mismatch";
+  if not (same_shape dst a) then invalid_arg "Tensor.map2_into: shape mismatch";
+  let ad = a.data and bd = b.data and out = dst.data in
+  for i = 0 to numel a - 1 do
+    uset out i (f (uget ad i) (uget bd i))
+  done;
+  dst
+
 let map2 f a b =
   if not (same_shape a b) then invalid_arg "Tensor.map2: shape mismatch";
-  {
-    shape = Array.copy a.shape;
-    data = Array.init (numel a) (fun i -> f a.data.(i) b.data.(i));
-  }
+  map2_into f ~dst:(unsafe_create a.shape) a b
 
-let add a b = map2 ( +. ) a b
-let sub a b = map2 ( -. ) a b
-let mul a b = map2 ( *. ) a b
-let scale k t = map (fun x -> k *. x) t
+(* The arithmetic pairs spell out their loops instead of going through
+   [map2_into]: an unknown [float -> float -> float] closure call boxes
+   three floats per element, and these run over every activation. *)
+let binop_check name dst a b =
+  if not (same_shape a b) then invalid_arg (name ^ ": shape mismatch");
+  if not (same_shape dst a) then invalid_arg (name ^ ": shape mismatch")
+
+let add_into ~dst a b =
+  binop_check "Tensor.add_into" dst a b;
+  let ad = a.data and bd = b.data and out = dst.data in
+  for i = 0 to numel a - 1 do
+    uset out i (uget ad i +. uget bd i)
+  done;
+  dst
+
+let sub_into ~dst a b =
+  binop_check "Tensor.sub_into" dst a b;
+  let ad = a.data and bd = b.data and out = dst.data in
+  for i = 0 to numel a - 1 do
+    uset out i (uget ad i -. uget bd i)
+  done;
+  dst
+
+let mul_into ~dst a b =
+  binop_check "Tensor.mul_into" dst a b;
+  let ad = a.data and bd = b.data and out = dst.data in
+  for i = 0 to numel a - 1 do
+    uset out i (uget ad i *. uget bd i)
+  done;
+  dst
+
+let add a b = add_into ~dst:(unsafe_create a.shape) a b
+let sub a b = sub_into ~dst:(unsafe_create a.shape) a b
+let mul a b = mul_into ~dst:(unsafe_create a.shape) a b
+
+let scale_into k ~dst t =
+  if not (same_shape dst t) then invalid_arg "Tensor.scale_into: shape mismatch";
+  let src = t.data and out = dst.data in
+  for i = 0 to numel t - 1 do
+    uset out i (k *. uget src i)
+  done;
+  dst
+
+let scale k t = scale_into k ~dst:(unsafe_create t.shape) t
+
+let add_bias_into ~dst x b =
+  check_rank2 "Tensor.add_bias_into" x;
+  if Array.length b.shape <> 1 || b.shape.(0) <> x.shape.(1) then
+    invalid_arg "Tensor.add_bias: bias shape mismatch";
+  let m = x.shape.(0) and n = x.shape.(1) in
+  check_dst "Tensor.add_bias_into" dst m n;
+  let xd = x.data and bd = b.data and out = dst.data in
+  for i = 0 to m - 1 do
+    let row = i * n in
+    for j = 0 to n - 1 do
+      uset out (row + j) (uget xd (row + j) +. uget bd j)
+    done
+  done;
+  dst
 
 let add_bias x b =
   check_rank2 "Tensor.add_bias" x;
   if Array.length b.shape <> 1 || b.shape.(0) <> x.shape.(1) then
     invalid_arg "Tensor.add_bias: bias shape mismatch";
-  let m = x.shape.(0) and n = x.shape.(1) in
-  let out = Array.make (m * n) 0.0 in
+  add_bias_into ~dst:(unsafe_create x.shape) x b
+
+(* -- reductions -------------------------------------------------------- *)
+
+let sum t =
+  let d = t.data in
+  let acc = ref 0.0 in
+  for i = 0 to numel t - 1 do
+    acc := !acc +. uget d i
+  done;
+  !acc
+
+let mean t = sum t /. float_of_int (numel t)
+
+let sum_rows_into ~dst t =
+  check_rank2 "Tensor.sum_rows_into" t;
+  let m = t.shape.(0) and n = t.shape.(1) in
+  if Array.length dst.shape <> 1 || dst.shape.(0) <> m then
+    invalid_arg "Tensor.sum_rows_into: destination shape mismatch";
+  let src = t.data and out = dst.data in
   for i = 0 to m - 1 do
     let row = i * n in
+    let acc = ref 0.0 in
     for j = 0 to n - 1 do
-      out.(row + j) <- x.data.(row + j) +. b.data.(j)
-    done
+      acc := !acc +. uget src (row + j)
+    done;
+    uset out i !acc
   done;
-  { shape = [| m; n |]; data = out }
-
-let sum t = Array.fold_left ( +. ) 0.0 t.data
-let mean t = sum t /. float_of_int (numel t)
+  dst
 
 let sum_rows t =
   check_rank2 "Tensor.sum_rows" t;
-  let m = t.shape.(0) and n = t.shape.(1) in
-  let out = Array.make m 0.0 in
-  for i = 0 to m - 1 do
-    let row = i * n in
-    for j = 0 to n - 1 do
-      out.(i) <- out.(i) +. t.data.(row + j)
-    done
-  done;
-  { shape = [| m |]; data = out }
+  sum_rows_into ~dst:(unsafe_create [| t.shape.(0) |]) t
 
 let argmax_row t i =
   check_rank2 "Tensor.argmax_row" t;
   let n = t.shape.(1) in
+  let d = t.data in
+  let row = i * n in
   let best = ref 0 in
+  let best_v = ref (uget d row) in
   for j = 1 to n - 1 do
-    if t.data.((i * n) + j) > t.data.((i * n) + !best) then best := j
+    let v = uget d (row + j) in
+    if v > !best_v then begin
+      best := j;
+      best_v := v
+    end
   done;
   !best
 
+(* -- in-place updates -------------------------------------------------- *)
+
 let add_inplace dst src =
   if not (same_shape dst src) then invalid_arg "Tensor.add_inplace: shape mismatch";
+  let d = dst.data and s = src.data in
   for i = 0 to numel dst - 1 do
-    dst.data.(i) <- dst.data.(i) +. src.data.(i)
+    uset d i (uget d i +. uget s i)
   done
 
-let fill_inplace t v =
-  Array.fill t.data 0 (Array.length t.data) v
+(* dst += a * b elementwise; one fused traversal of the historical
+   "allocate [mul a b], then [add_inplace]" pair, same per-element
+   float expression. *)
+let add_mul_inplace dst a b =
+  if not (same_shape a b) || not (same_shape dst a) then
+    invalid_arg "Tensor.add_mul_inplace: shape mismatch";
+  let d = dst.data and ad = a.data and bd = b.data in
+  for i = 0 to numel dst - 1 do
+    uset d i (uget d i +. (uget ad i *. uget bd i))
+  done
+
+let fill_inplace t v = Bigarray.Array1.fill t.data v
 
 let scale_inplace t k =
+  let d = t.data in
   for i = 0 to numel t - 1 do
-    t.data.(i) <- t.data.(i) *. k
+    uset d i (uget d i *. k)
   done
 
 let xavier_uniform rng ~fan_in ~fan_out shape =
   let bound = sqrt (6.0 /. float_of_int (fan_in + fan_out)) in
   init shape (fun _ -> (Util.Rng.uniform rng *. 2.0 *. bound) -. bound)
 
-let equal a b = same_shape a b && a.data = b.data
+(* Bit-level equality: NaN payloads compare equal to themselves and
+   0.0 <> -0.0, unlike polymorphic [=] on floats (NaN <> NaN, and
+   0.0 = -0.0), which silently mis-answered "is this checkpoint the
+   same" whenever a weight was NaN. *)
+let equal a b =
+  same_shape a b
+  && begin
+       let ad = a.data and bd = b.data in
+       let ok = ref true in
+       let i = ref 0 in
+       let n = numel a in
+       while !ok && !i < n do
+         if Int64.bits_of_float (uget ad !i) <> Int64.bits_of_float (uget bd !i)
+         then ok := false;
+         incr i
+       done;
+       !ok
+     end
 
 let approx_equal ?(tol = 1e-9) a b =
   same_shape a b
-  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) a.data b.data
+  && begin
+       let ad = a.data and bd = b.data in
+       let ok = ref true in
+       let i = ref 0 in
+       let n = numel a in
+       while !ok && !i < n do
+         if not (Float.abs (uget ad !i -. uget bd !i) <= tol) then ok := false;
+         incr i
+       done;
+       !ok
+     end
 
 let pp ppf t =
   Format.fprintf ppf "tensor[%s]"
     (String.concat "x" (Array.to_list (Array.map string_of_int t.shape)));
   if numel t <= 16 then begin
     Format.fprintf ppf " {";
-    Array.iteri
-      (fun i v ->
-        if i > 0 then Format.fprintf ppf ", ";
-        Format.fprintf ppf "%g" v)
-      t.data;
+    for i = 0 to numel t - 1 do
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%g" (uget t.data i)
+    done;
     Format.fprintf ppf "}"
   end

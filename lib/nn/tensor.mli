@@ -1,11 +1,23 @@
-(** Dense float tensors (row-major).
+(** Dense float64 tensors on Bigarray storage (row-major, c_layout).
 
-    The minimal tensor type the policy networks need: rank-1/rank-2 data,
-    matrix multiplication, broadcasting of a bias vector over rows, and
-    elementwise maps. All operations allocate fresh results; in-place
-    variants used by the optimizer are suffixed [_inplace]. *)
+    The minimal tensor type the policy networks need: rank-1/rank-2
+    data, matrix multiplication, broadcasting of a bias vector over
+    rows, and elementwise maps. Operations come in two tiers:
 
-type t = { shape : int array; data : float array }
+    - allocating ops ([matmul], [add], ...) return fresh tensors;
+    - destination-passing [_into] twins write into a caller-supplied
+      tensor — usually one drawn from a {!Workspace} arena — and are
+      bit-identical to their allocating twin (same float operations in
+      the same order).
+
+    The matmul family is register- and cache-blocked but preserves the
+    exact accumulation order of the naive triple loop, so kernel
+    selection and the tile size never change results at the bit level
+    (see docs/performance.md, "Tensor kernels"). *)
+
+type buf = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { shape : int array; data : buf }
 
 val create : int array -> float -> t
 (** [create shape v] fills a new tensor with [v]. *)
@@ -15,6 +27,9 @@ val ones : int array -> t
 
 val of_array : int array -> float array -> t
 (** Validates that the data length matches the shape product. *)
+
+val to_array : t -> float array
+(** Flat copy of the payload (row-major), mainly for tests. *)
 
 val init : int array -> (int -> float) -> t
 (** [init shape f] fills index [i] (flat) with [f i]. *)
@@ -26,47 +41,127 @@ val numel : t -> int
 val dims : t -> int array
 val copy : t -> t
 
+val blit : t -> t -> unit
+(** [blit src dst] copies the payload of [src] into [dst] (equal sizes). *)
+
 val reshape : int array -> t -> t
 (** Same data, new shape (validated); shares no storage. *)
 
 val get : t -> int -> float
-(** Flat indexing. *)
+(** Flat indexing (bounds-checked). *)
 
 val set : t -> int -> float -> unit
+
+val unsafe_get : t -> int -> float
+(** Flat indexing without bounds checks — hot loops only. *)
+
+val unsafe_set : t -> int -> float -> unit
 
 val get2 : t -> int -> int -> float
 (** [get2 t i j] for rank-2 tensors. *)
 
 val set2 : t -> int -> int -> float -> unit
 
+(** Preallocated buffer arena for destination-passing kernels.
+
+    [get ws shape] returns the next slot, allocating only when this
+    position has never been handed out or needs more capacity than it
+    has (smaller requests reuse the buffer as a prefix view); [reset ws]
+    rewinds the hand-out cursor without freeing. A caller that resets
+    once per inference call and requests a stable shape sequence reuses
+    the same buffers forever.
+
+    Tensors returned by [get] are valid only until the owner's next
+    [reset] — never store one, and never share a workspace across
+    domains (give each domain its own, e.g. via [Domain.DLS]). *)
+module Workspace : sig
+  type tensor := t
+  type t
+
+  val create : unit -> t
+  val reset : t -> unit
+  val get : t -> int array -> tensor
+
+  val slots : t -> int
+  (** Number of backing buffers currently pooled. *)
+
+  val grabs : t -> int
+  (** Total [get] calls over the workspace's lifetime. *)
+
+  val reallocs : t -> int
+  (** [get] calls that had to allocate a buffer; a steady-state caller
+      stops increasing this after the first pass. *)
+
+  val live_bytes : t -> int
+  (** Bytes held by the pooled buffers. *)
+end
+
 val matmul : t -> t -> t
 (** [matmul a b] for shapes ([m; k], [k; n]). Raises [Invalid_argument]
-    on rank or dimension mismatch. *)
+    on rank or dimension mismatch. Cache-blocked (see
+    {!set_matmul_block}); bit-identical to the naive i-p-j loop. *)
+
+val matmul_into : dst:t -> t -> t -> t
+(** [matmul_into ~dst a b] writes [a * b] into [dst] ([m; n]) and
+    returns it. [dst] must not alias [a] or [b]. *)
 
 val matmul_transpose_a : t -> t -> t
 (** [matmul_transpose_a a b] computes [a^T * b] for a of shape [k; m]. *)
 
+val matmul_transpose_a_into : dst:t -> t -> t -> t
+
 val matmul_transpose_b : t -> t -> t
 (** [matmul_transpose_b a b] computes [a * b^T] for b of shape [n; k]. *)
 
+val matmul_transpose_b_into : dst:t -> t -> t -> t
+
+val matmul_transpose_b_addto : dst:t -> t -> t -> unit
+(** [matmul_transpose_b_addto ~dst a b]: dst += a * b^T, with each cell
+    formed in a register and added once — bit-identical to allocating
+    the product and [add_inplace]-ing it, with zero scratch. *)
+
+val matmul_block : unit -> int
+(** Current cache-tile edge (elements) for the blocked matmul. *)
+
+val set_matmul_block : int -> unit
+(** Set the tile edge (>= 4). Also settable via the [MLIR_RL_MM_BLOCK]
+    environment variable at startup. Never affects results. *)
+
 val transpose : t -> t
 (** Rank-2 transpose. *)
+
+val transpose_into : dst:t -> t -> t
+(** [dst] must not alias the source. *)
 
 val slice_cols : t -> lo:int -> hi:int -> t
 (** [slice_cols t ~lo ~hi] copies columns [lo, hi) of a rank-2 tensor
     into a fresh [m; hi - lo] tensor. *)
 
+val slice_cols_into : dst:t -> t -> lo:int -> hi:int -> t
+
 val map : (float -> float) -> t -> t
+val map_into : (float -> float) -> dst:t -> t -> t
 val map2 : (float -> float -> float) -> t -> t -> t
+val map2_into : (float -> float -> float) -> dst:t -> t -> t -> t
+
+val relu : t -> t
+val relu_into : dst:t -> t -> t
 
 val add : t -> t -> t
 val sub : t -> t -> t
 val mul : t -> t -> t
 val scale : float -> t -> t
 
+val add_into : dst:t -> t -> t -> t
+val sub_into : dst:t -> t -> t -> t
+val mul_into : dst:t -> t -> t -> t
+val scale_into : float -> dst:t -> t -> t
+
 val add_bias : t -> t -> t
 (** [add_bias x b] adds the vector [b] of shape [n] to each row of the
     rank-2 [x] of shape [m; n]. *)
+
+val add_bias_into : dst:t -> t -> t -> t
 
 val sum : t -> float
 val mean : t -> float
@@ -74,11 +169,16 @@ val mean : t -> float
 val sum_rows : t -> t
 (** [sum_rows x] for [m; n] input returns shape [m] row sums. *)
 
+val sum_rows_into : dst:t -> t -> t
+
 val argmax_row : t -> int -> int
 (** Index of the max element of row [i] of a rank-2 tensor. *)
 
 val add_inplace : t -> t -> unit
 (** [add_inplace dst src]: dst += src. *)
+
+val add_mul_inplace : t -> t -> t -> unit
+(** [add_mul_inplace dst a b]: dst += a * b elementwise, fused. *)
 
 val fill_inplace : t -> float -> unit
 val scale_inplace : t -> float -> unit
@@ -87,5 +187,8 @@ val xavier_uniform : Util.Rng.t -> fan_in:int -> fan_out:int -> int array -> t
 (** Glorot/Xavier uniform initialization. *)
 
 val equal : t -> t -> bool
+(** Bitwise element equality (NaN equals NaN; [0.0] differs from
+    [-0.0]) — the right notion for "is this the same checkpoint". *)
+
 val approx_equal : ?tol:float -> t -> t -> bool
 val pp : Format.formatter -> t -> unit

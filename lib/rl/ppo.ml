@@ -53,6 +53,13 @@ type stats = {
   grad_norm : float;
 }
 
+(* Arena behind the per-minibatch tapes: the op sequence repeats every
+   minibatch (same network), so after the first one a whole
+   evaluate/backward cycle runs without allocating. Reset by
+   [Tape.create]; all stats escape as scalars before the next reset.
+   Per-domain, though updates only ever run on the main domain. *)
+let tape_ws_key = Domain.DLS.new_key Tensor.Workspace.create
+
 let update config policy optimizer transitions ~rng =
   let n = Array.length transitions in
   if n = 0 then invalid_arg "Ppo.update: empty batch";
@@ -85,18 +92,11 @@ let update config policy optimizer transitions ~rng =
         Array.map (fun i -> transitions.(i).sample) batch_idx
       in
       let old_logp =
-        Tensor.of_array [| size |]
-          (Array.map (fun i -> transitions.(i).log_prob) batch_idx)
+        Tensor.init [| size |] (fun j -> transitions.(batch_idx.(j)).log_prob)
       in
-      let adv =
-        Tensor.of_array [| size |]
-          (Array.map (fun i -> advantages.(i)) batch_idx)
-      in
-      let ret =
-        Tensor.of_array [| size |]
-          (Array.map (fun i -> returns.(i)) batch_idx)
-      in
-      let tape = Autodiff.Tape.create () in
+      let adv = Tensor.init [| size |] (fun j -> advantages.(batch_idx.(j))) in
+      let ret = Tensor.init [| size |] (fun j -> returns.(batch_idx.(j))) in
+      let tape = Autodiff.Tape.create ~ws:(Domain.DLS.get tape_ws_key) () in
       let ev = policy.evaluate tape samples in
       (* ratio = exp(logp - old_logp) *)
       let diff = Autodiff.sub tape ev.log_prob (Autodiff.const tape old_logp) in
@@ -130,7 +130,7 @@ let update config policy optimizer transitions ~rng =
       let ratio_v = Autodiff.value ratio in
       let kl = ref 0.0 and clipfrac = ref 0 in
       for i = 0 to size - 1 do
-        let r = Tensor.get ratio_v i in
+        let r = Tensor.unsafe_get ratio_v i in
         (* approx KL: (r - 1) - log r *)
         kl := !kl +. (r -. 1.0 -. log (Float.max r 1e-12));
         if Float.abs (r -. 1.0) > config.clip_range then incr clipfrac

@@ -57,6 +57,170 @@ let test_tensor_reshape () =
     | exception Invalid_argument _ -> true
     | _ -> false)
 
+let test_tensor_equal_bitwise () =
+  (* [equal] is the "same checkpoint" predicate: bitwise, so NaN equals
+     itself and 0.0 differs from -0.0 — both the opposite of (=). *)
+  let x = Tensor.of_array [| 3 |] [| 1.0; nan; -0.0 |] in
+  Alcotest.(check bool) "copy is equal (incl. NaN)" true
+    (Tensor.equal x (Tensor.copy x));
+  let y = Tensor.of_array [| 3 |] [| 1.0; nan; 0.0 |] in
+  Alcotest.(check bool) "-0.0 <> 0.0" false (Tensor.equal x y);
+  Alcotest.(check bool) "shape mismatch" false
+    (Tensor.equal x (Tensor.zeros [| 2 |]));
+  (* approx_equal keeps IEEE semantics: NaN never close to anything. *)
+  Alcotest.(check bool) "approx_equal rejects NaN" false
+    (Tensor.approx_equal x (Tensor.copy x))
+
+let test_transpose_known () =
+  let x = Tensor.of_array [| 2; 3 |] [| 1.0; 2.0; 3.0; 4.0; 5.0; 6.0 |] in
+  let xt = Tensor.transpose x in
+  Alcotest.(check t_testable) "non-square transpose"
+    (Tensor.of_array [| 3; 2 |] [| 1.0; 4.0; 2.0; 5.0; 3.0; 6.0 |])
+    xt;
+  Alcotest.(check bool) "transpose_into matches" true
+    (Tensor.equal xt (Tensor.transpose_into ~dst:(Tensor.zeros [| 3; 2 |]) x))
+
+(* Every [_into] kernel against its allocating twin, bit for bit, on
+   shapes that hit the tile and unroll remainders of the blocked matmul
+   family, across several tile sizes. *)
+let test_into_kernels_bit_identical () =
+  let saved_block = Tensor.matmul_block () in
+  Fun.protect
+    ~finally:(fun () -> Tensor.set_matmul_block saved_block)
+    (fun () ->
+      List.iter
+        (fun block ->
+          Tensor.set_matmul_block block;
+          List.iter
+            (fun (m, k, n) ->
+              let rng = Util.Rng.create (m + (10 * k) + (100 * n)) in
+              let a = Tensor.init [| m; k |] (fun _ -> Util.Rng.gaussian rng) in
+              let b = Tensor.init [| k; n |] (fun _ -> Util.Rng.gaussian rng) in
+              let ctx op = Printf.sprintf "%s %dx%dx%d block=%d" op m k n block in
+              let eq name x y =
+                Alcotest.(check bool) (ctx name) true (Tensor.equal x y)
+              in
+              (* The blocked matmul must equal the naive i-p-j reference. *)
+              let naive = Tensor.zeros [| m; n |] in
+              for i = 0 to m - 1 do
+                for p = 0 to k - 1 do
+                  let av = Tensor.get2 a i p in
+                  for j = 0 to n - 1 do
+                    Tensor.set2 naive i j
+                      (Tensor.get2 naive i j +. (av *. Tensor.get2 b p j))
+                  done
+                done
+              done;
+              eq "matmul=naive" (Tensor.matmul a b) naive;
+              eq "matmul_into"
+                (Tensor.matmul_into ~dst:(Tensor.zeros [| m; n |]) a b)
+                (Tensor.matmul a b);
+              let at = Tensor.transpose a in
+              eq "matmul_transpose_a_into"
+                (Tensor.matmul_transpose_a_into ~dst:(Tensor.zeros [| m; n |]) at b)
+                (Tensor.matmul_transpose_a at b);
+              let bt = Tensor.transpose b in
+              eq "matmul_transpose_b_into"
+                (Tensor.matmul_transpose_b_into ~dst:(Tensor.zeros [| m; n |]) a bt)
+                (Tensor.matmul_transpose_b a bt);
+              (* addto must equal allocate-then-add, starting from a
+                 nonzero accumulator. *)
+              let seed = Tensor.init [| m; n |] (fun _ -> Util.Rng.gaussian rng) in
+              let addto = Tensor.copy seed in
+              Tensor.matmul_transpose_b_addto ~dst:addto a bt;
+              let via_alloc = Tensor.copy seed in
+              Tensor.add_inplace via_alloc (Tensor.matmul_transpose_b a bt);
+              eq "matmul_transpose_b_addto" addto via_alloc)
+            [ (1, 1, 1); (3, 5, 2); (5, 7, 3); (17, 13, 9); (33, 65, 17) ])
+        [ 4; 8; 48; 64 ]);
+  (* Elementwise and reduction twins (tile size irrelevant). *)
+  let rng = Util.Rng.create 77 in
+  let m = 7 and n = 11 in
+  let x = Tensor.init [| m; n |] (fun _ -> Util.Rng.gaussian rng) in
+  let y = Tensor.init [| m; n |] (fun _ -> Util.Rng.gaussian rng) in
+  let bias = Tensor.init [| n |] (fun _ -> Util.Rng.gaussian rng) in
+  let d () = Tensor.zeros [| m; n |] in
+  let eq name a b = Alcotest.(check bool) name true (Tensor.equal a b) in
+  eq "add_into" (Tensor.add_into ~dst:(d ()) x y) (Tensor.add x y);
+  eq "sub_into" (Tensor.sub_into ~dst:(d ()) x y) (Tensor.sub x y);
+  eq "mul_into" (Tensor.mul_into ~dst:(d ()) x y) (Tensor.mul x y);
+  eq "scale_into" (Tensor.scale_into 1.7 ~dst:(d ()) x) (Tensor.scale 1.7 x);
+  eq "relu_into" (Tensor.relu_into ~dst:(d ()) x) (Tensor.relu x);
+  eq "add_bias_into" (Tensor.add_bias_into ~dst:(d ()) x bias)
+    (Tensor.add_bias x bias);
+  eq "slice_cols_into"
+    (Tensor.slice_cols_into ~dst:(Tensor.zeros [| m; 4 |]) x ~lo:2 ~hi:6)
+    (Tensor.slice_cols x ~lo:2 ~hi:6);
+  eq "sum_rows_into" (Tensor.sum_rows_into ~dst:(Tensor.zeros [| m |]) x)
+    (Tensor.sum_rows x);
+  eq "map_into" (Tensor.map_into exp ~dst:(d ()) x) (Tensor.map exp x);
+  eq "map2_into" (Tensor.map2_into Float.min ~dst:(d ()) x y)
+    (Tensor.map2 Float.min x y)
+
+(* --- Workspace arena --- *)
+
+let test_workspace_reuse () =
+  let ws = Tensor.Workspace.create () in
+  let a = Tensor.Workspace.get ws [| 4; 4 |] in
+  let b = Tensor.Workspace.get ws [| 8 |] in
+  Tensor.fill_inplace a 1.0;
+  Tensor.fill_inplace b 2.0;
+  Alcotest.(check int) "two slots" 2 (Tensor.Workspace.slots ws);
+  Alcotest.(check int) "two reallocs" 2 (Tensor.Workspace.reallocs ws);
+  Tensor.Workspace.reset ws;
+  (* Same shape sequence: same buffers, no allocation. *)
+  let a' = Tensor.Workspace.get ws [| 4; 4 |] in
+  let b' = Tensor.Workspace.get ws [| 8 |] in
+  Alcotest.(check int) "no new slots" 2 (Tensor.Workspace.slots ws);
+  Alcotest.(check int) "no new reallocs" 2 (Tensor.Workspace.reallocs ws);
+  Alcotest.(check (float 0.0)) "buffer reused" 1.0 (Tensor.get a' 0);
+  Alcotest.(check (float 0.0)) "buffer reused (2)" 2.0 (Tensor.get b' 0);
+  Alcotest.(check int) "grabs counted" 4 (Tensor.Workspace.grabs ws)
+
+let test_workspace_prefix_view_and_growth () =
+  let ws = Tensor.Workspace.create () in
+  ignore (Tensor.Workspace.get ws [| 6; 6 |]);
+  Tensor.Workspace.reset ws;
+  (* A smaller request reuses the slot as a prefix view... *)
+  let small = Tensor.Workspace.get ws [| 2; 3 |] in
+  Alcotest.(check int) "prefix view, no realloc" 1 (Tensor.Workspace.reallocs ws);
+  Alcotest.(check int) "requested shape" 6 (Tensor.numel small);
+  Tensor.Workspace.reset ws;
+  (* ... a bigger one grows the slot. *)
+  let big = Tensor.Workspace.get ws [| 9; 9 |] in
+  Alcotest.(check int) "growth reallocates" 2 (Tensor.Workspace.reallocs ws);
+  Alcotest.(check int) "grown shape" 81 (Tensor.numel big);
+  Alcotest.(check bool) "live bytes cover capacity" true
+    (Tensor.Workspace.live_bytes ws >= 81 * 8)
+
+let test_tape_workspace_grads_bit_identical () =
+  (* An arena-backed tape must produce bit-identical gradients to a
+     plain allocating tape, across repeated reuse of the same arena. *)
+  let rng = Util.Rng.create 31 in
+  let mlp = Layers.mlp rng ~dims:[ 5; 7; 3 ] "net" in
+  let params = Layers.mlp_params mlp in
+  let x = Tensor.init [| 4; 5 |] (fun _ -> Util.Rng.gaussian rng) in
+  let run tape =
+    let xo = Autodiff.const tape x in
+    let y = Autodiff.relu tape (Layers.forward_mlp tape mlp xo) in
+    Autodiff.backward tape (Autodiff.mean_all tape (Autodiff.square tape y));
+    List.map (fun p -> Tensor.copy p.Autodiff.Param.grad) params
+  in
+  List.iter Autodiff.Param.zero_grad params;
+  let plain = run (Autodiff.Tape.create ()) in
+  let ws = Tensor.Workspace.create () in
+  for round = 1 to 3 do
+    List.iter Autodiff.Param.zero_grad params;
+    let with_ws = run (Autodiff.Tape.create ~ws ()) in
+    List.iteri
+      (fun i g ->
+        Alcotest.(check bool)
+          (Printf.sprintf "grad %d bit-identical (round %d)" i round)
+          true
+          (Tensor.equal g (List.nth plain i)))
+      with_ws
+  done
+
 (* --- Autodiff vs finite differences --- *)
 
 let finite_diff_check ~build ~params ~eps ~tol =
@@ -207,7 +371,8 @@ let test_clip_grad_norm () =
     sqrt
       (Array.fold_left
          (fun acc g -> acc +. (g *. g))
-         0.0 p.Autodiff.Param.grad.Tensor.data)
+         0.0
+         (Tensor.to_array p.Autodiff.Param.grad))
   in
   Alcotest.(check (float 1e-9)) "clipped to max" 1.5 new_norm
 
@@ -303,6 +468,15 @@ let suite =
     Alcotest.test_case "add_bias" `Quick test_tensor_add_bias;
     Alcotest.test_case "sum_rows/argmax" `Quick test_tensor_sum_rows_argmax;
     Alcotest.test_case "reshape" `Quick test_tensor_reshape;
+    Alcotest.test_case "equal is bitwise" `Quick test_tensor_equal_bitwise;
+    Alcotest.test_case "transpose known" `Quick test_transpose_known;
+    Alcotest.test_case "into kernels bit-identical" `Quick
+      test_into_kernels_bit_identical;
+    Alcotest.test_case "workspace reuse" `Quick test_workspace_reuse;
+    Alcotest.test_case "workspace prefix view/growth" `Quick
+      test_workspace_prefix_view_and_growth;
+    Alcotest.test_case "tape workspace grads bit-identical" `Quick
+      test_tape_workspace_grads_bit_identical;
     Alcotest.test_case "grad: linear+relu" `Quick test_grad_linear_relu;
     Alcotest.test_case "grad: log_softmax+gather" `Quick test_grad_log_softmax_gather;
     Alcotest.test_case "grad: PPO-style loss" `Quick test_grad_ppo_style_loss;

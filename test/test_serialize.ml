@@ -92,9 +92,50 @@ let test_exact_float_roundtrip () =
     (Tensor.equal p.Autodiff.Param.data q.Autodiff.Param.data);
   Sys.remove path
 
+let test_golden_file_compat () =
+  (* A checkpoint as written by the pre-Bigarray float-array
+     implementation, byte for byte (the text format never changed when
+     the tensor representation did). Loading it must restore the exact
+     bit patterns onto Bigarray storage, and re-saving must reproduce
+     the original bytes. *)
+  let golden =
+    "mlir-rl-params v1\n\
+     2\n\
+     golden.w 2 2 3\n\
+     0x1.5555555555555p-2 -0x0p+0 0x0.0000000000001p-1022 infinity \
+     -infinity 0x1.81cd6e631f8a1p+13\n\
+     golden.b 1 2\n\
+     0x1.999999999999ap-4 0x1.fffffffffffffp+1023\n"
+  in
+  let path = temp_file () in
+  let oc = open_out_bin path in
+  output_string oc golden;
+  close_out oc;
+  let w = Autodiff.Param.create "golden.w" (Tensor.zeros [| 2; 3 |]) in
+  let b = Autodiff.Param.create "golden.b" (Tensor.zeros [| 2 |]) in
+  (match Serialize.load_params path [ w; b ] with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "w bit exact" true
+    (Tensor.equal w.Autodiff.Param.data
+       (Tensor.of_array [| 2; 3 |]
+          [| 1.0 /. 3.0; -0.0; 5e-324; infinity; neg_infinity; 12345.6789 |]));
+  Alcotest.(check bool) "b bit exact" true
+    (Tensor.equal b.Autodiff.Param.data
+       (Tensor.of_array [| 2 |] [| 0.1; max_float |]));
+  let path2 = temp_file () in
+  Serialize.save_params path2 [ w; b ];
+  let ic = open_in_bin path2 in
+  let again = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Alcotest.(check string) "writer byte-stable" golden again;
+  Sys.remove path;
+  Sys.remove path2
+
 let suite =
   [
     Alcotest.test_case "roundtrip params" `Quick test_roundtrip_params;
+    Alcotest.test_case "golden file compat" `Quick test_golden_file_compat;
     Alcotest.test_case "rejects shape mismatch" `Quick test_load_rejects_shape_mismatch;
     Alcotest.test_case "rejects name mismatch" `Quick test_load_rejects_name_mismatch;
     Alcotest.test_case "rejects garbage" `Quick test_load_rejects_garbage;
