@@ -121,13 +121,36 @@ let features_cmd =
 (* --- autoschedule --- *)
 
 let autoschedule_cmd =
-  let run spec budget =
+  let run spec budget surrogate rerank_k =
     let op = op_of_spec spec in
     let ev = Evaluator.create () in
     let config =
       { Auto_scheduler.default_config with Auto_scheduler.max_schedules = budget }
     in
-    let r = Auto_scheduler.search ~config ev op in
+    let r =
+      match surrogate with
+      | None -> Auto_scheduler.search ~config ev op
+      | Some path -> (
+          (* Staged mode: the checkpointed surrogate ranks the candidate
+             set and only the top rerank_k get the exact cost model. *)
+          match
+            Surrogate.Ranker.of_checkpoint ~machine:(Evaluator.machine ev)
+              ~path ()
+          with
+          | Error e ->
+              Format.eprintf "surrogate checkpoint rejected: %s@." e;
+              exit 2
+          | Ok ranker ->
+              Surrogate.Ranker.attach ranker ev;
+              Surrogate.Counters.incr_searches ();
+              let r =
+                Auto_scheduler.search_staged ~config
+                  ~ranker:(Surrogate.Ranker.schedule_scorer ranker op)
+                  ~rerank_k ev op
+              in
+              Surrogate.Counters.add_reranked r.Auto_scheduler.explored;
+              r)
+    in
     Format.printf "explored : %d schedules@." r.Auto_scheduler.explored;
     Format.printf "best     : %s@." (Schedule.to_string r.Auto_scheduler.best_schedule);
     Format.printf "speedup  : %.2fx@." r.Auto_scheduler.best_speedup;
@@ -142,10 +165,27 @@ let autoschedule_cmd =
   let budget_arg =
     Arg.(value & opt int 3000 & info [ "budget" ] ~doc:"Exploration budget")
   in
+  let surrogate_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "surrogate" ] ~docv:"CKPT"
+          ~doc:
+            "Surrogate checkpoint (see $(b,surrogate train)); enables staged \
+             re-ranking. Without it the exact search runs, byte-identical to \
+             previous releases.")
+  in
+  let rerank_arg =
+    Arg.(
+      value
+      & opt int Auto_scheduler.default_rerank_k
+      & info [ "rerank-k" ]
+          ~doc:"Candidates handed from the surrogate to the exact model")
+  in
   Cmd.v
     (Cmd.info "autoschedule"
        ~doc:"Run the baseline exhaustive auto-scheduler on an operation")
-    Term.(const run $ spec_arg $ budget_arg)
+    Term.(const run $ spec_arg $ budget_arg $ surrogate_arg $ rerank_arg)
 
 (* --- compare --- *)
 
@@ -1154,6 +1194,191 @@ let play_cmd =
        ~doc:"Drive the RL environment interactively, one transformation at a time")
     Term.(const run $ spec_arg $ immediate)
 
+(* --- surrogate --- *)
+
+let machine_of_name name =
+  match String.lowercase_ascii name with
+  | "e5_2680_v4" | "xeon" -> Machine.e5_2680_v4
+  | "avx512" | "avx512_server" -> Machine.avx512_server
+  | "mobile" | "mobile_quad" -> Machine.mobile_quad
+  | other ->
+      Format.eprintf
+        "unknown machine %S (try e5_2680_v4, avx512_server, mobile_quad)@."
+        other;
+      exit 2
+
+let log_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "log" ] ~docv:"PATH" ~doc:"Evaluation log (surrogate-log v1)")
+
+let surrogate_collect_cmd =
+  let run out seed n_ops budget machine_name =
+    let machine = machine_of_name machine_name in
+    let ev = Evaluator.create ~machine () in
+    let log = Surrogate.Dataset_log.create () in
+    Surrogate.Dataset_log.attach log ev;
+    let split = Generator.generate ~seed () in
+    let ops =
+      Array.sub split.Generator.train 0
+        (min n_ops (Array.length split.Generator.train))
+    in
+    let config =
+      { Auto_scheduler.default_config with Auto_scheduler.max_schedules = budget }
+    in
+    Array.iteri
+      (fun i op ->
+        let r = Auto_scheduler.search ~config ev op in
+        Format.eprintf "[%d/%d] %s: explored %d, log size %d@." (i + 1)
+          (Array.length ops)
+          (Option.value ~default:op.Linalg.op_name (Op_spec.to_spec op))
+          r.Auto_scheduler.explored
+          (Surrogate.Dataset_log.length log))
+      ops;
+    Surrogate.Dataset_log.detach ev;
+    let rows = Surrogate.Dataset_log.save log ~path:out in
+    let s = Surrogate.Dataset_log.stats log in
+    Format.printf
+      "collected %d entries (%d duplicates deduped, %d rotated out); %s now \
+       holds %d rows@."
+      s.Surrogate.Dataset_log.added s.Surrogate.Dataset_log.duplicates
+      s.Surrogate.Dataset_log.rotated out rows
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out" ] ~docv:"PATH"
+          ~doc:"Log file to write (merged with existing rows)")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Dataset generator seed")
+  in
+  let ops_arg =
+    Arg.(value & opt int 12 & info [ "ops" ] ~doc:"How many dataset ops to search")
+  in
+  let budget_arg =
+    Arg.(value & opt int 400 & info [ "budget" ] ~doc:"Search budget per op")
+  in
+  let machine_arg =
+    Arg.(
+      value
+      & opt string "e5_2680_v4"
+      & info [ "machine" ] ~doc:"Machine profile to price on")
+  in
+  Cmd.v
+    (Cmd.info "collect"
+       ~doc:
+         "Run exact searches over dataset ops with the evaluation tap on and \
+          append the measurements to a log")
+    Term.(const run $ out_arg $ seed_arg $ ops_arg $ budget_arg $ machine_arg)
+
+let parse_hidden s =
+  let parts = List.filter (fun x -> x <> "") (String.split_on_char ',' s) in
+  let dims = List.filter_map int_of_string_opt parts in
+  if List.length dims <> List.length parts || dims = [] then begin
+    Format.eprintf "bad --hidden %S (want e.g. 24,12)@." s;
+    exit 2
+  end;
+  dims
+
+let load_log_or_die path =
+  match Surrogate.Dataset_log.load ~path with
+  | Error e ->
+      Format.eprintf "cannot load log %s: %s@." path e;
+      exit 1
+  | Ok log -> Surrogate.Dataset_log.entries log
+
+let surrogate_train_cmd =
+  let run log_path out hidden epochs batch_size lr seed =
+    let entries = load_log_or_die log_path in
+    let model = Surrogate.Model.create ~hidden:(parse_hidden hidden) ~seed () in
+    let r =
+      Surrogate.Model.fit ~epochs ~batch_size ~learning_rate:lr ~seed model
+        entries
+    in
+    Format.printf "examples      : %d (%d train / %d val)@."
+      r.Surrogate.Model.examples r.Surrogate.Model.train_examples
+      r.Surrogate.Model.val_examples;
+    Array.iteri
+      (fun e (tl : float) ->
+        Format.eprintf "epoch %2d: train mse %.5f  val mse %.5f@." (e + 1) tl
+          r.Surrogate.Model.val_losses.(e))
+      r.Surrogate.Model.train_losses;
+    Format.printf "val mse       : %.5f -> %.5f@."
+      r.Surrogate.Model.initial_val_loss
+      r.Surrogate.Model.val_losses.(r.Surrogate.Model.epochs_run - 1);
+    Format.printf "val spearman  : %.3f@." r.Surrogate.Model.spearman;
+    Surrogate.Model.save model ~path:out;
+    Format.printf "checkpoint    : %s@." out
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out" ] ~docv:"CKPT" ~doc:"Checkpoint file to write")
+  in
+  let hidden_arg =
+    Arg.(value & opt string "24,12" & info [ "hidden" ] ~doc:"Hidden layer dims")
+  in
+  let epochs_arg =
+    Arg.(value & opt int 40 & info [ "epochs" ] ~doc:"Training epochs")
+  in
+  let batch_arg =
+    Arg.(value & opt int 64 & info [ "batch" ] ~doc:"Minibatch size")
+  in
+  let lr_arg =
+    Arg.(value & opt float 1e-3 & info [ "lr" ] ~doc:"Adam learning rate")
+  in
+  let seed_arg =
+    Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Init and shuffle seed")
+  in
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:"Train the latency surrogate on an evaluation log (deterministic)")
+    Term.(
+      const run $ log_arg $ out_arg $ hidden_arg $ epochs_arg $ batch_arg
+      $ lr_arg $ seed_arg)
+
+let surrogate_eval_cmd =
+  let run log_path ckpt =
+    let entries = load_log_or_die log_path in
+    match Surrogate.Model.load ~path:ckpt with
+    | Error e ->
+        Format.eprintf "cannot load checkpoint %s: %s@." ckpt e;
+        exit 1
+    | Ok model ->
+        let train, validation = Surrogate.Model.split entries in
+        Format.printf "examples      : %d (%d train / %d val)@."
+          (Array.length entries) (Array.length train)
+          (Array.length validation);
+        Format.printf "train mse     : %.5f@."
+          (Surrogate.Model.eval_loss model train);
+        Format.printf "val mse       : %.5f@."
+          (Surrogate.Model.eval_loss model validation);
+        Format.printf "val spearman  : %.3f@."
+          (Surrogate.Model.spearman model
+             (if Array.length validation >= 2 then validation else entries))
+  in
+  let ckpt_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "ckpt" ] ~docv:"CKPT" ~doc:"Checkpoint to evaluate")
+  in
+  Cmd.v
+    (Cmd.info "eval" ~doc:"Score a trained surrogate against an evaluation log")
+    Term.(const run $ log_arg $ ckpt_arg)
+
+let surrogate_cmd =
+  Cmd.group
+    (Cmd.info "surrogate"
+       ~doc:
+         "Learned cost-model surrogate: collect evaluation logs, train the \
+          latency predictor, evaluate checkpoints")
+    [ surrogate_collect_cmd; surrogate_train_cmd; surrogate_eval_cmd ]
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   exit
@@ -1165,5 +1390,5 @@ let () =
           [
             show_cmd; schedule_cmd; features_cmd; analyze_cmd; autoschedule_cmd;
             compare_cmd; dataset_cmd; train_cmd; infer_cmd; serve_cmd;
-            request_cmd; fleet_status_cmd; play_cmd;
+            request_cmd; fleet_status_cmd; play_cmd; surrogate_cmd;
           ]))

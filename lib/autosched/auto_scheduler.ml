@@ -149,8 +149,24 @@ let space_candidates config (space : domain_space) : Schedule.t Seq.t =
         (product tile_opts))
     par_combos
 
-(* Seeded random draw from one domain space. *)
-let random_candidate rng config (space : domain_space) =
+(* [loop_options] enumerates, filters and sorts divisors — far too
+   expensive to redo per sampling attempt per loop (the sampling loops
+   below draw tens of thousands of candidates, and trip counts repeat
+   constantly). One memo table per search invocation; [config] is fixed
+   for the table's lifetime, so the key is just the trip count. *)
+let loop_options_memo config =
+  let tbl = Hashtbl.create 32 in
+  fun trip ->
+    match Hashtbl.find_opt tbl trip with
+    | Some opts -> opts
+    | None ->
+        let opts = loop_options config trip in
+        Hashtbl.add tbl trip opts;
+        opts
+
+(* Seeded random draw from one domain space. [opts] is the (memoized)
+   tile-size option list per trip count. *)
+let random_candidate rng config ~opts (space : domain_space) =
   let n = Array.length space.trips in
   let par_opt =
     if space.par_slots <> [] && Util.Rng.bool rng then begin
@@ -168,15 +184,15 @@ let random_candidate rng config (space : domain_space) =
     | Some sizes -> Array.mapi (fun l s -> if s > 0 then s else space.trips.(l)) sizes
   in
   let tile_combo =
-    Array.map (fun trip -> Util.Rng.choice_list rng (loop_options config trip)) effective
+    Array.map (fun trip -> Util.Rng.choice_list rng (opts trip)) effective
+  in
+  let count_nonzero_arr a =
+    Array.fold_left (fun acc s -> if s > 0 then acc + 1 else acc) 0 a
   in
   let par_count =
-    match par_opt with
-    | None -> 0
-    | Some sizes -> count_nonzero (Array.to_list sizes)
+    match par_opt with None -> 0 | Some sizes -> count_nonzero_arr sizes
   in
-  if par_count + count_nonzero (Array.to_list tile_combo) < config.min_tiled_loops
-  then None
+  if par_count + count_nonzero_arr tile_combo < config.min_tiled_loops then None
   else begin
     let swap_opt = Util.Rng.choice_list rng space.swap_opts in
     Some (assemble ~prefix:space.prefix ~par_opt ~tile_combo ~swap_opt)
@@ -383,18 +399,21 @@ let search_with ~exhaustive ?(config = default_config) evaluator op =
     (* Large space: budgeted seeded sampling without replacement. *)
     evaluate [ Schedule.Vectorize ];
     let rng = Util.Rng.create (sampling_seed op) in
+    let opts = loop_options_memo config in
     let seen = Hashtbl.create 1024 in
     let attempts = ref 0 in
     let max_attempts = config.max_schedules * 20 in
     while !explored < config.max_schedules && !attempts < max_attempts do
       incr attempts;
       let space = Util.Rng.choice_list rng sps in
-      match random_candidate rng config space with
+      match random_candidate rng config ~opts space with
       | None -> ()
       | Some sched ->
-          let key = Schedule.to_string sched in
-          if not (Hashtbl.mem seen key) then begin
-            Hashtbl.add seen key ();
+          (* Structural keys: generic hashing beats building a string
+             per attempt, and bucket collisions fall back to full
+             structural equality, so dedup stays exact. *)
+          if not (Hashtbl.mem seen sched) then begin
+            Hashtbl.add seen sched ();
             evaluate sched
           end
     done
@@ -414,3 +433,104 @@ let search ?config evaluator op =
 let search_naive ?config evaluator op =
   search_with ?config evaluator op ~exhaustive:(fun config op ~evaluate ~record:_ ->
       Seq.iter evaluate (candidates config op))
+
+(* Staged re-ranking: a cheap learned ranker scores every candidate in
+   the budgeted set WITHOUT applying it (the surrogate's features come
+   from the schedule parameters alone), then only the [rerank_k] most
+   promising candidates pay for the exact path ([Sched_state.apply_all]
+   plus the analytical cost model). [explored] counts exact evaluations
+   only, so traces stay comparable with [search].
+
+   The ranker is a plain closure — this layer cannot depend on
+   lib/surrogate (perf < autosched < surrogate in the library order);
+   the CLI / bench construct it from a trained checkpoint. *)
+let default_rerank_k = 64
+
+let gather_candidates config op =
+  let sps = spaces config op in
+  let total_size =
+    1 + List.fold_left (fun acc s -> acc + space_size config s) 0 sps
+  in
+  if total_size <= config.max_schedules then
+    List.of_seq (candidates config op)
+  else begin
+    (* Same seeded sampling-without-replacement stream the exact search
+       falls back to, collected instead of evaluated. *)
+    let rng = Util.Rng.create (sampling_seed op) in
+    let opts = loop_options_memo config in
+    let seen = Hashtbl.create 1024 in
+    let out = ref [ [ Schedule.Vectorize ] ] in
+    Hashtbl.add seen [ Schedule.Vectorize ] ();
+    let collected = ref 1 in
+    let attempts = ref 0 in
+    let max_attempts = config.max_schedules * 20 in
+    while !collected < config.max_schedules && !attempts < max_attempts do
+      incr attempts;
+      let space = Util.Rng.choice_list rng sps in
+      match random_candidate rng config ~opts space with
+      | None -> ()
+      | Some sched ->
+          if not (Hashtbl.mem seen sched) then begin
+            Hashtbl.add seen sched ();
+            out := sched :: !out;
+            incr collected
+          end
+    done;
+    List.rev !out
+  end
+
+let search_staged ?(config = default_config) ?ranker
+    ?(rerank_k = default_rerank_k) evaluator op =
+  match ranker with
+  | None -> search ~config evaluator op
+  | Some rank ->
+      let cands = Array.of_list (gather_candidates config op) in
+      (* One batched ranking pass, then sort ascending by predicted
+         log-seconds; ties (and equal predictions from a degenerate
+         model) fall back to enumeration order, keeping the stage
+         deterministic. *)
+      let predictions = rank cands in
+      if Array.length predictions <> Array.length cands then
+        invalid_arg "Auto_scheduler.search_staged: ranker size mismatch";
+      let scored =
+        Array.mapi (fun i sched -> (predictions.(i), i, sched)) cands
+      in
+      Array.sort
+        (fun (a, i, _) (b, j, _) ->
+          match compare (a : float) b with 0 -> compare i j | c -> c)
+        scored;
+      let best_schedule = ref [ Schedule.Vectorize ] in
+      let best_speedup = ref 0.0 in
+      let explored = ref 0 in
+      let trace = ref [] in
+      let evaluate sched =
+        match Evaluator.schedule_speedup evaluator op sched with
+        | Error _ -> ()
+        | Ok speedup ->
+            incr explored;
+            if speedup > !best_speedup then begin
+              best_speedup := speedup;
+              best_schedule := sched
+            end;
+            trace := (!explored, !best_speedup) :: !trace
+      in
+      (* The trivial vectorize schedule is always exact-evaluated, so
+         [best_speedup] is well-defined even if the ranker buries it. *)
+      let trivial = [ Schedule.Vectorize ] in
+      let trivial_key = Schedule.dedup_key trivial in
+      evaluate trivial;
+      let taken = ref 0 in
+      Array.iter
+        (fun (_, _, sched) ->
+          if !taken < rerank_k then
+            if Schedule.dedup_key sched <> trivial_key then begin
+              incr taken;
+              evaluate sched
+            end)
+        scored;
+      {
+        best_schedule = !best_schedule;
+        best_speedup = !best_speedup;
+        explored = !explored;
+        trace = Array.of_list (List.rev !trace);
+      }

@@ -64,3 +64,31 @@ val search_naive : ?config:config -> Evaluator.t -> Linalg.t -> result
     evaluator created with [~state_cache_capacity:0] for the fully
     unmemoized baseline the differential tests and the evalcache bench
     compare against. *)
+
+val default_rerank_k : int
+(** Exact re-evaluation budget of {!search_staged} (64). *)
+
+val gather_candidates : config -> Linalg.t -> Schedule.t list
+(** The budgeted candidate set {!search_staged} ranks: the full
+    enumeration when the space fits [max_schedules], otherwise the same
+    seeded sampling-without-replacement stream {!search} falls back to
+    (collected instead of evaluated). Exposed for tests and data
+    collection. *)
+
+val search_staged :
+  ?config:config ->
+  ?ranker:(Schedule.t array -> float array) ->
+  ?rerank_k:int ->
+  Evaluator.t ->
+  Linalg.t ->
+  result
+(** Two-stage search: [ranker] (predicted log-seconds per candidate,
+    positionally; lower = faster) scores the whole budgeted candidate
+    set in one batched call — no transformation is applied — then only
+    the [rerank_k] best-ranked candidates are evaluated exactly. Ties
+    rank in enumeration order, so the stage is deterministic. The
+    trivial vectorize schedule is always evaluated exactly, and
+    [explored]/[trace] count exact evaluations only.
+
+    Without [ranker] this is {!search} — byte-identical results, the
+    guaranteed fallback when no surrogate checkpoint is available. *)

@@ -94,7 +94,10 @@ let expansions config (state : Sched_state.t) =
   if Sched_state.can_im2col state then add Schedule.Im2col;
   List.rev !acc
 
-let search ?(config = default_config) evaluator op =
+let default_rerank_k = 32
+
+let search ?(config = default_config) ?ranker ?(rerank_k = default_rerank_k)
+    evaluator op =
   let explored = ref 0 in
   (* Expansion is already prefix-shared: each child is one [apply] on
      its parent's state, never an [apply_all] replay. The remaining
@@ -111,7 +114,7 @@ let search ?(config = default_config) evaluator op =
   in
   let seen = Hashtbl.create 256 in
   let remember (state : Sched_state.t) =
-    let key = Schedule.to_string state.Sched_state.applied in
+    let key = Schedule.dedup_key state.Sched_state.applied in
     if Hashtbl.mem seen key then false
     else begin
       Hashtbl.add seen key ();
@@ -125,28 +128,55 @@ let search ?(config = default_config) evaluator op =
   let depth = ref 0 in
   while !depth < config.max_depth - 1 && !beam <> [] do
     incr depth;
-    let children = ref [] in
+    (* Gather this depth's deduplicated children unscored; what gets the
+       exact oracle depends on the mode below. *)
+    let collected = ref [] in
     List.iter
       (fun (state, _) ->
         List.iter
           (fun tr ->
             match Sched_state.apply state tr with
             | Error _ -> ()
-            | Ok child ->
-                if remember child then begin
-                  let s = score child in
-                  if s > !best_speedup then begin
-                    best_speedup := s;
-                    best_schedule :=
-                      child.Sched_state.applied @ [ Schedule.Vectorize ]
-                  end;
-                  children := (child, s) :: !children
-                end)
+            | Ok child -> if remember child then collected := child :: !collected)
           (expansions config state))
       !beam;
-    let sorted =
-      List.sort (fun (_, a) (_, b) -> compare b a) !children
+    let collected = List.rev !collected in
+    let candidates =
+      match ranker with
+      | None -> collected
+      | Some rank ->
+          (* Staged: the surrogate ranks this depth's children in one
+             batched call (no cost-model call, no virtual-vectorize
+             apply), and only the top [rerank_k] survive to exact
+             scoring. Ties keep expansion order, so the stage is
+             deterministic. *)
+          let arr = Array.of_list collected in
+          let predictions = rank arr in
+          if Array.length predictions <> Array.length arr then
+            invalid_arg "Beam_search.search: ranker size mismatch";
+          let indexed =
+            List.mapi (fun i child -> (predictions.(i), i, child)) collected
+          in
+          let sorted =
+            List.sort
+              (fun (a, i, _) (b, j, _) ->
+                match compare (a : float) b with 0 -> compare i j | c -> c)
+              indexed
+          in
+          List.filteri (fun i _ -> i < rerank_k) sorted
+          |> List.map (fun (_, _, child) -> child)
     in
+    let children = ref [] in
+    List.iter
+      (fun child ->
+        let s = score child in
+        if s > !best_speedup then begin
+          best_speedup := s;
+          best_schedule := child.Sched_state.applied @ [ Schedule.Vectorize ]
+        end;
+        children := (child, s) :: !children)
+      candidates;
+    let sorted = List.sort (fun (_, a) (_, b) -> compare b a) !children in
     beam := List.filteri (fun i _ -> i < config.beam_width) sorted
   done;
   { best_schedule = !best_schedule; best_speedup = !best_speedup; explored = !explored }

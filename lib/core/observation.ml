@@ -23,15 +23,11 @@ let point_origins (state : Sched_state.t) =
     (fun (l : Loop_nest.loop) -> l.Loop_nest.origin)
     (Loop_transforms.point_band state.Sched_state.nest)
 
+(* Per-loop stats come from the shared helpers in Nest_stats — the
+   surrogate feature extractor reads the same ones, so the two stay
+   bit-identical. *)
 let loop_info (cfg : Env_config.t) (state : Sched_state.t) =
-  let out = Array.make cfg.Env_config.n_max 0.0 in
-  let trips = Sched_state.point_trip_counts state in
-  Array.iteri
-    (fun i trip ->
-      if i < cfg.Env_config.n_max then
-        out.(i) <- log2 (float_of_int (max 1 trip)) /. 16.0)
-    trips;
-  out
+  Nest_stats.trip_features ~n_max:cfg.Env_config.n_max state
 
 let access_matrix (cfg : Env_config.t) (state : Sched_state.t)
     (operand : Linalg.operand) =
@@ -84,21 +80,8 @@ let history (cfg : Env_config.t) (state : Sched_state.t) =
    n_max + j the reuse distance carried by that loop. Log-scaled the
    same way as trip counts. *)
 let footprint_feats (cfg : Env_config.t) (state : Sched_state.t) =
-  let n = cfg.Env_config.n_max in
-  let out = Array.make (2 * n) 0.0 in
-  let nest = state.Sched_state.nest in
-  let fp = Footprint.analyze nest in
-  let band_start = Loop_transforms.point_band_start nest in
-  let band = Loop_transforms.point_band nest in
-  let norm e = log2 (1.0 +. float_of_int e) /. 32.0 in
-  Array.iteri
-    (fun j _ ->
-      if j < n then begin
-        out.(j) <- norm (Footprint.level_elements fp (band_start + j));
-        out.(n + j) <- norm (Footprint.reuse_distance fp (band_start + j))
-      end)
-    band;
-  out
+  Nest_stats.band_footprint_features ~n_max:cfg.Env_config.n_max
+    state.Sched_state.nest
 
 let math_counts (state : Sched_state.t) =
   Array.map

@@ -1,7 +1,10 @@
 type cache_stats = {
   base : Util.Sharded_cache.stats;
   state : Util.Sharded_cache.stats option;
+  surrogate : Util.Sharded_cache.stats option;
 }
+
+type measure_hook = Sched_state.t -> seconds:float -> unit
 
 type t = {
   machine : Machine.t;
@@ -17,6 +20,19 @@ type t = {
   mutable base_memo : (Linalg.t * float) option;
   (* "|" ^ machine name, precomputed once for state_key. *)
   machine_suffix : string;
+  (* Measurement tap: called once per state-seconds COMPUTATION with the
+     pure, pre-jitter cost-model value — the surrogate's dataset logger
+     installs itself here. With the transposition cache on, that is once
+     per distinct (digest, kinds, packing, machine) key, so the log
+     dedups for free; the hook never sees jitter and never perturbs the
+     noise stream, so enabling it is bit-invisible to every consumer. *)
+  mutable measure_hook : measure_hook option;
+  (* A surrogate ranker's prediction-cache stats closure, attached so
+     its counters surface through the one {!cache_stats} record (CLI
+     stderr stats, serve /stats, Prometheus) instead of growing another
+     ad-hoc stats path. A closure rather than the cache itself keeps
+     the ranker's key type out of this interface. *)
+  mutable surrogate_cache : (unit -> Util.Sharded_cache.stats) option;
 }
 
 let timeout_factor = 10.0
@@ -37,6 +53,8 @@ let create ?(machine = Machine.e5_2680_v4) ?(noise = 0.0) ?(noise_seed = 0)
     noise_rng = Util.Rng.create noise_seed;
     base_memo = None;
     machine_suffix = "|" ^ machine.Machine.name;
+    measure_hook = None;
+    surrogate_cache = None;
   }
 
 let fork t =
@@ -54,6 +72,11 @@ let fork t =
     noise_rng = Util.Rng.create 0;
     base_memo = None;
     machine_suffix = t.machine_suffix;
+    (* Forks inherit the measurement tap (the dataset logger is
+       mutex-protected) and the attached surrogate cache, like the
+       other shared caches. *)
+    measure_hook = t.measure_hook;
+    surrogate_cache = t.surrogate_cache;
   }
 
 let jitter t seconds =
@@ -107,15 +130,22 @@ let state_key t (state : Sched_state.t) =
 
 let pure_state_seconds t (state : Sched_state.t) =
   let compute () =
-    Cost_model.seconds ~machine:t.machine
-      ~iter_kinds:state.Sched_state.op.Linalg.iter_kinds
-      ~packing_elements:state.Sched_state.packing_elements
-      state.Sched_state.nest
+    let s =
+      Cost_model.seconds ~machine:t.machine
+        ~iter_kinds:state.Sched_state.op.Linalg.iter_kinds
+        ~packing_elements:state.Sched_state.packing_elements
+        state.Sched_state.nest
+    in
+    (match t.measure_hook with None -> () | Some hook -> hook state ~seconds:s);
+    s
   in
   match t.state_cache with
   | None -> compute ()
   | Some cache ->
       Util.Sharded_cache.find_or_compute cache (state_key t state) compute
+
+let set_measure_hook t hook = t.measure_hook <- hook
+let attach_surrogate_cache t stats = t.surrogate_cache <- Some stats
 
 let state_seconds t (state : Sched_state.t) =
   t.explored <- t.explored + 1;
@@ -152,10 +182,18 @@ let cache_stats t =
   {
     base = Util.Sharded_cache.stats t.base_cache;
     state = Option.map Util.Sharded_cache.stats t.state_cache;
+    surrogate = Option.map (fun stats -> stats ()) t.surrogate_cache;
   }
 
+(* The tagged cache groups of a stats record, present-only — the single
+   source both renderers (and serve's Prometheus dump) fold over. *)
+let cache_stats_groups stats =
+  [ ("base", Some stats.base); ("state", stats.state);
+    ("surrogate", stats.surrogate) ]
+  |> List.filter_map (fun (tag, s) -> Option.map (fun s -> (tag, s)) s)
+
 let render_cache_stats stats =
-  let one tag (s : Util.Sharded_cache.stats) =
+  let one (tag, (s : Util.Sharded_cache.stats)) =
     let total = s.Util.Sharded_cache.hits + s.Util.Sharded_cache.misses in
     let rate =
       if total = 0 then 0.0
@@ -165,9 +203,16 @@ let render_cache_stats stats =
       s.Util.Sharded_cache.hits total rate s.Util.Sharded_cache.evictions
       s.Util.Sharded_cache.size s.Util.Sharded_cache.capacity
   in
-  one "base" stats.base
-  ^ " | "
-  ^
-  match stats.state with
-  | None -> "state cache disabled"
-  | Some s -> one "state" s
+  let groups = List.map one (cache_stats_groups stats) in
+  let groups =
+    if stats.state = None then groups @ [ "state cache disabled" ] else groups
+  in
+  String.concat " | " groups
+
+let render_cache_kv stats =
+  String.concat " "
+    (List.map
+       (fun (tag, (s : Util.Sharded_cache.stats)) ->
+         Printf.sprintf "eval_%s_hits=%d eval_%s_misses=%d" tag
+           s.Util.Sharded_cache.hits tag s.Util.Sharded_cache.misses)
+       (cache_stats_groups stats))

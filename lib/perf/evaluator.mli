@@ -85,18 +85,53 @@ val noise_state : t -> int64
 val set_noise_state : t -> int64 -> unit
 (** Restore a jitter stream saved by {!noise_state}. *)
 
+type measure_hook = Sched_state.t -> seconds:float -> unit
+(** A tap on the state-seconds computation: receives the schedule state
+    and the pure, pre-jitter cost-model seconds. *)
+
+val set_measure_hook : t -> measure_hook option -> unit
+(** Install (or clear) the measurement tap. The hook fires inside the
+    transposition-cache miss path, so with the cache on it runs once
+    per distinct (digest, iter kinds, packing, machine) key — the
+    surrogate dataset logger gets a deduplicated stream for free. It
+    must be fast and, if the evaluator is forked across domains,
+    thread-safe; it never observes jitter and never perturbs the noise
+    stream, so installing it is bit-invisible to all consumers. Forks
+    inherit the hook. *)
+
+val attach_surrogate_cache : t -> (unit -> Util.Sharded_cache.stats) -> unit
+(** Attach a surrogate ranker's prediction-cache stats so its counters
+    appear in {!cache_stats} (and hence CLI stderr stats, serve
+    [/stats] and Prometheus) alongside the base/state caches. Takes a
+    closure, not the cache, so rankers may key their cache however they
+    like. Purely observational: the evaluator never touches the cache. *)
+
 type cache_stats = {
   base : Util.Sharded_cache.stats;  (** base-time cache, keyed by op *)
   state : Util.Sharded_cache.stats option;
       (** state-seconds transposition cache; [None] when disabled *)
+  surrogate : Util.Sharded_cache.stats option;
+      (** attached surrogate prediction cache; [None] unless a ranker
+          called {!attach_surrogate_cache} *)
 }
 
 val cache_stats : t -> cache_stats
-(** Hit/miss/eviction counters of both caches. Forks share the caches,
+(** Hit/miss/eviction counters of the caches. Forks share the caches,
     so the counters aggregate across all of them (and under parallel
     collection they depend on scheduling — report them on stderr or in
     metrics, never on determinism-checked stdout). *)
 
+val cache_stats_groups :
+  cache_stats -> (string * Util.Sharded_cache.stats) list
+(** The present cache groups as [(tag, stats)] pairs, in fixed
+    [base; state; surrogate] order — the single source every renderer
+    (human, key=value, Prometheus) folds over. *)
+
 val render_cache_stats : cache_stats -> string
 (** One-line human-readable rendering of {!cache_stats} — what the CLI
     prints after [autoschedule]/[train] and serve exposes in stats. *)
+
+val render_cache_kv : cache_stats -> string
+(** [eval_<tag>_hits=N eval_<tag>_misses=N] pairs for each present
+    cache, space-separated — the machine-readable form serve's
+    [/stats] body embeds. *)

@@ -258,28 +258,21 @@ let stats_body t =
   (* The evaluator caches sit below the result cache: base times per op
      and memoized state seconds per nest digest, shared by every forked
      rollout env. *)
-  let eval_extra =
-    let pair tag (c : Util.Sharded_cache.stats) =
-      Printf.sprintf "eval_%s_hits=%d eval_%s_misses=%d" tag
-        c.Util.Sharded_cache.hits tag c.Util.Sharded_cache.misses
-    in
-    pair "base" eval.Evaluator.base
-    ^
-    match eval.Evaluator.state with
-    | None -> ""
-    | Some st -> " " ^ pair "state" st
-  in
+  let eval_extra = Evaluator.render_cache_kv eval in
   (* Verifier / differential-sanitizer counters (process-global in
      lib/analysis; populated only when MLIR_RL_VERIFY / MLIR_RL_SANITIZE
      enabled them, otherwise all zero). *)
   let analysis_extra =
     let v = Verifier.stats () in
     let s = Sanitizer.stats () in
+    let sg = Surrogate.Counters.stats () in
     Printf.sprintf
       "verify_checks=%d verify_violations=%d sanitize_runs=%d \
-       sanitize_skips=%d sanitize_violations=%d"
+       sanitize_skips=%d sanitize_violations=%d surrogate_scored=%d \
+       surrogate_reranked=%d surrogate_searches=%d"
       v.Verifier.checks v.Verifier.violations s.Sanitizer.runs
-      s.Sanitizer.skips s.Sanitizer.violations
+      s.Sanitizer.skips s.Sanitizer.violations sg.Surrogate.Counters.scored
+      sg.Surrogate.Counters.reranked sg.Surrogate.Counters.searches
   in
   extra ^ " " ^ eval_extra ^ " " ^ analysis_extra ^ " "
   ^ Metrics.stats_line t.metrics
@@ -303,8 +296,13 @@ let eval_cache_metrics t =
       (Printf.sprintf "serve_eval_%s_cache_evictions_total" tag)
       c.Util.Sharded_cache.evictions
   in
-  cache "base" s.Evaluator.base;
-  (match s.Evaluator.state with None -> () | Some st -> cache "state" st);
+  List.iter
+    (fun (tag, st) -> cache tag st)
+    (Evaluator.cache_stats_groups s);
+  let sg = Surrogate.Counters.stats () in
+  counter "serve_surrogate_scored_total" sg.Surrogate.Counters.scored;
+  counter "serve_surrogate_reranked_total" sg.Surrogate.Counters.reranked;
+  counter "serve_surrogate_searches_total" sg.Surrogate.Counters.searches;
   let v = Verifier.stats () in
   let sz = Sanitizer.stats () in
   counter "serve_verify_checks_total" v.Verifier.checks;

@@ -1,0 +1,26 @@
+(* Process-global surrogate activity counters, mirroring the verifier /
+   sanitizer pattern in lib/analysis: plain atomics so forked search
+   workers share them, and serving / CLI stats read them at render
+   time. All zero unless a staged search actually ran a surrogate. *)
+
+let scored_ctr = Atomic.make 0
+let reranked_ctr = Atomic.make 0
+let searches_ctr = Atomic.make 0
+
+let add_scored n = ignore (Atomic.fetch_and_add scored_ctr n)
+let add_reranked n = ignore (Atomic.fetch_and_add reranked_ctr n)
+let incr_searches () = Atomic.incr searches_ctr
+
+type stats = { scored : int; reranked : int; searches : int }
+
+let stats () =
+  {
+    scored = Atomic.get scored_ctr;
+    reranked = Atomic.get reranked_ctr;
+    searches = Atomic.get searches_ctr;
+  }
+
+let reset () =
+  Atomic.set scored_ctr 0;
+  Atomic.set reranked_ctr 0;
+  Atomic.set searches_ctr 0

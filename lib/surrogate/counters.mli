@@ -1,0 +1,13 @@
+(** Process-global surrogate activity counters (verifier-style atomics):
+    candidates scored by the surrogate, candidates handed to the exact
+    model for re-ranking, and staged searches run. Forked search
+    workers share them; serve [/stats] and Prometheus read them. *)
+
+val add_scored : int -> unit
+val add_reranked : int -> unit
+val incr_searches : unit -> unit
+
+type stats = { scored : int; reranked : int; searches : int }
+
+val stats : unit -> stats
+val reset : unit -> unit

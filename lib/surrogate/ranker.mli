@@ -1,0 +1,68 @@
+(** Staged-search ranker: a trained {!Model} packaged for scoring
+    thousands of candidate schedules per op.
+
+    Scoring never applies a candidate's transformations — features come
+    from a memoized per-op static block plus a cheap encoding of the
+    schedule itself — and predictions are memoized in a bounded
+    ranker-private cache the evaluator can surface in its unified cache
+    statistics. The
+    reused forward-pass buffers are mutex-guarded, so one ranker may be
+    shared across domains. *)
+
+type t
+
+val default_cache_capacity : int
+(** Prediction-cache capacity (65536 entries). *)
+
+val create : ?cache_capacity:int -> machine:Machine.t -> Model.t -> t
+
+val of_checkpoint :
+  ?cache_capacity:int ->
+  machine:Machine.t ->
+  path:string ->
+  unit ->
+  (t, string) result
+(** {!Model.load} + {!create}. *)
+
+val machine : t -> Machine.t
+val model : t -> Model.t
+
+val cache_stats : t -> Util.Sharded_cache.stats
+(** Hit/miss/eviction counters of the ranker-private prediction memo
+    (reported in the {!Util.Sharded_cache.stats} shape so it plugs into
+    the evaluator's unified cache rendering; [shards = 1]). *)
+
+val attach : t -> Evaluator.t -> unit
+(** Expose this ranker's prediction cache as the evaluator's surrogate
+    cache group ({!Evaluator.attach_surrogate_cache}), so CLI stderr
+    and serve [/stats] report its hit rates alongside base/state. *)
+
+val score_features : t -> float array -> float
+(** Predicted log-seconds for a raw feature vector (uncached; counts
+    toward {!Counters}). *)
+
+val score_schedule : t -> Linalg.t -> Schedule.t -> float
+(** Predicted log-seconds of running [op] under [sched] — memoized by
+    (per-ranker op id | schedule); no transformation is applied. *)
+
+val score_state : t -> Sched_state.t -> float
+(** [score_schedule] on the state's original op and applied schedule,
+    with vectorization virtually appended (beam search's exact scorer
+    does the same before consulting the oracle). *)
+
+val score_schedules : t -> Linalg.t -> Schedule.t array -> float array
+(** Batched stage-1 scoring: cached predictions answer repeats, and all
+    misses run through a single forward — one [m; dim] matmul per layer
+    instead of [m] tiny ones — which amortizes the network cost to well
+    under the exact path's per-candidate price. *)
+
+val score_states : t -> Sched_state.t array -> float array
+(** [score_schedules] over the states' virtually-vectorized schedules
+    (the states must share one original op, as a beam's children do). *)
+
+val schedule_scorer : t -> Linalg.t -> Schedule.t array -> float array
+(** Closure view for {!Auto_scheduler.search_staged} (the autosched
+    layer cannot depend on this library). *)
+
+val state_scorer : t -> Sched_state.t array -> float array
+(** Closure view for beam search. *)

@@ -24,6 +24,46 @@ let transformation_to_string = function
 let to_string sched =
   String.concat " " (List.map transformation_to_string sched)
 
+(* Injective encoding for dedup tables and memo keys on hot search
+   paths: one Buffer, no Printf. Each transformation is a tag char plus
+   ','-terminated integers, closed with ';', so distinct schedules never
+   collide. [to_string] stays the human-readable / parseable form. *)
+let add_dedup_key b sched =
+  let ints arr =
+    Array.iter
+      (fun v ->
+        Buffer.add_string b (string_of_int v);
+        Buffer.add_char b ',')
+      arr
+  in
+  List.iter
+    (fun tr ->
+      (match tr with
+      | Tile sizes ->
+          Buffer.add_char b 'T';
+          ints sizes
+      | Parallelize sizes ->
+          Buffer.add_char b 'P';
+          ints sizes
+      | Interchange perm ->
+          Buffer.add_char b 'I';
+          ints perm
+      | Swap i ->
+          Buffer.add_char b 'S';
+          Buffer.add_string b (string_of_int i)
+      | Im2col -> Buffer.add_char b 'C'
+      | Vectorize -> Buffer.add_char b 'V'
+      | Unroll f ->
+          Buffer.add_char b 'U';
+          Buffer.add_string b (string_of_int f));
+      Buffer.add_char b ';')
+    sched
+
+let dedup_key sched =
+  let b = Buffer.create 48 in
+  add_dedup_key b sched;
+  Buffer.contents b
+
 let pp ppf sched = Format.pp_print_string ppf (to_string sched)
 
 let equal a b =

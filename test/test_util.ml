@@ -118,6 +118,57 @@ let test_stats_empty () =
   Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty list")
     (fun () -> ignore (Util.Stats.mean []))
 
+(* --- Atomic_file failure paths -------------------------------------- *)
+
+(* Tests run as root, which ignores directory permission bits, so the
+   unwritable-parent cases are provoked structurally: a parent that is a
+   regular file, and a parent that does not exist. Both must fail with
+   [Sys_error] and leave nothing behind. *)
+
+let test_atomic_parent_is_file () =
+  let file = Filename.temp_file "atomic_parent" ".f" in
+  let path = Filename.concat file "out.json" in
+  (match Util.Atomic_file.write_string ~path "x" with
+  | () -> Alcotest.fail "expected Sys_error"
+  | exception Sys_error _ -> ());
+  Alcotest.(check bool) "target absent" false (Sys.file_exists path);
+  Sys.remove file
+
+let test_atomic_parent_missing () =
+  let dir = Filename.temp_file "atomic_gone" "" in
+  Sys.remove dir;
+  let path = Filename.concat dir "out.json" in
+  (match Util.Atomic_file.write_string ~path "x" with
+  | () -> Alcotest.fail "expected Sys_error"
+  | exception Sys_error _ -> ());
+  Alcotest.(check bool) "dir still absent" false (Sys.file_exists dir)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_atomic_exception_cleans_tmp () =
+  let dir = Filename.temp_file "atomic_dir" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let path = Filename.concat dir "data.txt" in
+  Util.Atomic_file.write_string ~path "old";
+  (match
+     Util.Atomic_file.with_out ~path (fun oc ->
+         output_string oc "half-written";
+         failwith "boom")
+   with
+  | () -> Alcotest.fail "expected the writer's exception"
+  | exception Failure msg -> Alcotest.(check string) "propagates" "boom" msg);
+  Alcotest.(check string) "previous content intact" "old" (read_file path);
+  Alcotest.(check (list string))
+    "no temp file left behind" [ "data.txt" ]
+    (Array.to_list (Sys.readdir dir));
+  Sys.remove path;
+  Sys.rmdir dir
+
 let qcheck_geomean_le_mean =
   QCheck.Test.make ~name:"geomean <= mean (AM-GM)" ~count:200
     QCheck.(list_of_size (Gen.int_range 1 20) (float_range 0.01 100.0))
@@ -155,6 +206,12 @@ let suite =
     Alcotest.test_case "stats min max" `Quick test_stats_min_max;
     Alcotest.test_case "stats percentile" `Quick test_stats_percentile;
     Alcotest.test_case "stats empty" `Quick test_stats_empty;
+    Alcotest.test_case "atomic file: parent is a file" `Quick
+      test_atomic_parent_is_file;
+    Alcotest.test_case "atomic file: parent missing" `Quick
+      test_atomic_parent_missing;
+    Alcotest.test_case "atomic file: exception cleans tmp" `Quick
+      test_atomic_exception_cleans_tmp;
     QCheck_alcotest.to_alcotest qcheck_geomean_le_mean;
     QCheck_alcotest.to_alcotest qcheck_rng_int_in_range;
   ]
