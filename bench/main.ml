@@ -13,7 +13,7 @@
 
 let usage () =
   print_endline
-    "usage: main.exe [--fast|--quick] [table1] [table2] [fig5] [fig6] [fig7] [fig8] [ablation] [faults] [legality] [sanitize] [throughput] [tensor] [serve] [fleet] [evalcache] [surrogate] [micro]";
+    "usage: main.exe [--fast|--quick] [table1] [table2] [fig5] [fig6] [fig7] [fig8] [ablation] [faults] [legality] [sanitize] [throughput] [tensor] [serve] [fleet] [evalcache] [search] [surrogate] [micro]";
   exit 2
 
 let () =
@@ -30,7 +30,7 @@ let () =
           (List.mem a
              [ "table1"; "table2"; "fig5"; "fig6"; "fig7"; "fig8"; "ablation";
                "faults"; "legality"; "sanitize"; "throughput"; "tensor";
-               "serve"; "fleet"; "evalcache"; "surrogate"; "micro" ])
+               "serve"; "fleet"; "evalcache"; "search"; "surrogate"; "micro" ])
       then begin
         Printf.printf "unknown experiment %S\n" a;
         usage ()
@@ -70,6 +70,7 @@ let () =
   if want "serve" then Exp_serve.run ~quick:fast c;
   if want "fleet" then Exp_fleet.run ~quick:fast c;
   if want "evalcache" then Exp_evalcache.run ~quick:fast c;
+  if want "search" then Exp_search.run ~quick:fast c;
   if want "surrogate" then Exp_surrogate.run ~quick:fast c;
   if want "micro" then Micro.run ();
   Printf.printf "\nall experiments done in %.1f s wall-clock\n"

@@ -25,6 +25,16 @@ let spec_arg =
     & info [] ~docv:"OP"
         ~doc:"Operation spec, e.g. matmul:1024x1024x1024 or conv2d:56x56x64,k3,f128,s1")
 
+(* Uniform --jobs validation, shared by every command that takes the
+   flag (train / infer / autoschedule / serve): reject below 1 with one
+   message, before any other work. The default is 1 everywhere —
+   parallelism is always opt-in. *)
+let check_jobs jobs =
+  if jobs < 1 then begin
+    Format.eprintf "--jobs must be >= 1 (got %d)@." jobs;
+    exit 2
+  end
+
 (* Verifier / differential-sanitizer counters, printed to stderr (the
    determinism smokes diff stdout) at the end of commands that apply
    transformations. Silent unless a check layer is on. *)
@@ -121,15 +131,22 @@ let features_cmd =
 (* --- autoschedule --- *)
 
 let autoschedule_cmd =
-  let run spec budget surrogate rerank_k =
+  let run spec budget surrogate rerank_k jobs =
+    check_jobs jobs;
     let op = op_of_spec spec in
     let ev = Evaluator.create () in
     let config =
       { Auto_scheduler.default_config with Auto_scheduler.max_schedules = budget }
     in
+    (* The parallelism banner goes to stderr: stdout must stay
+       byte-identical across --jobs values (the CI smoke diffs it). *)
+    if jobs > 1 then
+      Format.eprintf
+        "parallel search: %d worker domains (results identical to --jobs 1)@."
+        jobs;
     let r =
       match surrogate with
-      | None -> Auto_scheduler.search ~config ev op
+      | None -> Auto_scheduler.search ~config ~jobs ev op
       | Some path -> (
           (* Staged mode: the checkpointed surrogate ranks the candidate
              set and only the top rerank_k get the exact cost model. *)
@@ -146,7 +163,7 @@ let autoschedule_cmd =
               let r =
                 Auto_scheduler.search_staged ~config
                   ~ranker:(Surrogate.Ranker.schedule_scorer ranker op)
-                  ~rerank_k ev op
+                  ~rerank_k ~jobs ev op
               in
               Surrogate.Counters.add_reranked r.Auto_scheduler.explored;
               r)
@@ -158,12 +175,25 @@ let autoschedule_cmd =
     Format.printf "time     : %.6f s (base %.6f s)@."
       (base /. r.Auto_scheduler.best_speedup)
       base;
-    Format.printf "caches   : %s@."
+    (* Cache counters go to stderr: under --jobs > 1 the hit/miss split
+       across the shared sharded caches is scheduling-dependent (the
+       cached values are pure, so the search result is byte-identical),
+       and stdout must stay diffable across --jobs values. *)
+    Format.eprintf "caches   : %s@."
       (Evaluator.render_cache_stats (Evaluator.cache_stats ev));
     report_check_stats ()
   in
   let budget_arg =
     Arg.(value & opt int 3000 & info [ "budget" ] ~doc:"Exploration budget")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Worker domains for parallel candidate evaluation (default 1). \
+             The search result is bit-identical for any value (see \
+             docs/parallelism.md)")
   in
   let surrogate_arg =
     Arg.(
@@ -185,7 +215,7 @@ let autoschedule_cmd =
   Cmd.v
     (Cmd.info "autoschedule"
        ~doc:"Run the baseline exhaustive auto-scheduler on an operation")
-    Term.(const run $ spec_arg $ budget_arg $ surrogate_arg $ rerank_arg)
+    Term.(const run $ spec_arg $ budget_arg $ surrogate_arg $ rerank_arg $ jobs_arg)
 
 (* --- compare --- *)
 
@@ -260,6 +290,7 @@ let dataset_cmd =
 let train_cmd =
   let run iterations hidden seed immediate specs save_path fault_rate fault_seed
       noise checkpoint_path checkpoint_every resume jobs =
+    check_jobs jobs;
     let cfg = Env_config.default in
     let cfg =
       if immediate then Env_config.with_reward_mode Env_config.Immediate cfg
@@ -318,10 +349,6 @@ let train_cmd =
           checkpoint_every
           (if resume then " (resuming if a checkpoint exists)" else "")
     | None -> ());
-    if jobs < 1 then begin
-      Format.eprintf "--jobs must be >= 1@.";
-      exit 2
-    end;
     (* The parallelism banner goes to stderr: stdout must stay
        byte-identical across --jobs values (that equality is what the
        determinism smoke tests diff). *)
@@ -456,10 +483,7 @@ let train_cmd =
 
 let infer_cmd =
   let run spec hidden load_path trials jobs seed greedy_only =
-    if jobs < 1 then begin
-      Format.eprintf "--jobs must be >= 1@.";
-      exit 2
-    end;
+    check_jobs jobs;
     let op = op_of_spec spec in
     let cfg = Env_config.default in
     let env = Env.create cfg in
@@ -528,7 +552,7 @@ let infer_cmd =
 let serve_cmd =
   (* A single replica: engine + batched server in this process. *)
   let run_single ~hidden ~load_path ~workers ~max_batch ~max_queue
-      ~max_wait_ms ~cache_capacity ~measure_delay_ms ~socket =
+      ~max_wait_ms ~cache_capacity ~measure_delay_ms ~jobs ~socket =
     let engine_cfg =
       {
         Serve.Engine.default_config with
@@ -536,6 +560,7 @@ let serve_cmd =
         checkpoint = load_path;
         cache_capacity;
         measure_delay_s = measure_delay_ms /. 1000.0;
+        jobs;
       }
     in
     let engine =
@@ -578,7 +603,7 @@ let serve_cmd =
      front (crash restart, health checks, breaker shedding,
      consistent-hash routing, hedged retries). *)
   let run_fleet ~replicas ~hidden ~load_path ~workers ~max_batch ~max_queue
-      ~max_wait_ms ~cache_capacity ~measure_delay_ms ~socket =
+      ~max_wait_ms ~cache_capacity ~measure_delay_ms ~jobs ~socket =
     let dir =
       Filename.concat
         (Filename.get_temp_dir_name ())
@@ -598,6 +623,7 @@ let serve_cmd =
         "--max-wait-ms"; Printf.sprintf "%g" max_wait_ms;
         "--cache-capacity"; string_of_int cache_capacity;
         "--measure-delay-ms"; Printf.sprintf "%g" measure_delay_ms;
+        "--jobs"; string_of_int jobs;
       ]
       @ (match load_path with Some p -> [ "--load"; p ] | None -> [])
     in
@@ -676,7 +702,8 @@ let serve_cmd =
         cleanup ()
   in
   let run hidden load_path workers max_batch max_queue max_wait_ms
-      cache_capacity socket replicas measure_delay_ms =
+      cache_capacity socket replicas measure_delay_ms jobs =
+    check_jobs jobs;
     if max_wait_ms < 0.0 then begin
       Format.eprintf "--max-wait-ms must be >= 0@.";
       exit 2
@@ -691,10 +718,10 @@ let serve_cmd =
     end;
     if replicas = 1 then
       run_single ~hidden ~load_path ~workers ~max_batch ~max_queue
-        ~max_wait_ms ~cache_capacity ~measure_delay_ms ~socket
+        ~max_wait_ms ~cache_capacity ~measure_delay_ms ~jobs ~socket
     else
       run_fleet ~replicas ~hidden ~load_path ~workers ~max_batch ~max_queue
-        ~max_wait_ms ~cache_capacity ~measure_delay_ms ~socket
+        ~max_wait_ms ~cache_capacity ~measure_delay_ms ~jobs ~socket
   in
   let hidden =
     Arg.(value & opt int 64 & info [ "hidden" ] ~doc:"Hidden width used at training")
@@ -759,6 +786,15 @@ let serve_cmd =
              (cache hits stay instant); models a deployment that times \
              schedules on real hardware")
   in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "jobs"; "j" ]
+          ~doc:
+            "Worker domains per engine for chunked batch rollouts (default \
+             1); with --replicas each replica gets its own pool. Results are \
+             identical for any value (see docs/parallelism.md)")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -767,7 +803,8 @@ let serve_cmd =
           multi-replica fleet")
     Term.(
       const run $ hidden $ load_path $ workers $ max_batch $ max_queue
-      $ max_wait_ms $ cache_capacity $ socket $ replicas $ measure_delay_ms)
+      $ max_wait_ms $ cache_capacity $ socket $ replicas $ measure_delay_ms
+      $ jobs)
 
 let request_cmd =
   let run id spec ir_file stats metrics ping deadline_ms socket timeout_ms =

@@ -227,12 +227,179 @@ let candidates config (op : Linalg.t) : Schedule.t Seq.t =
     [ Schedule.Vectorize ]
     (Seq.concat_map (space_candidates config) (List.to_seq (spaces config op)))
 
+(* The size estimate the search dispatches on (full enumeration vs
+   budgeted sampling): an upper bound on |candidates|, since the
+   per-space product ignores the min-tiled filter. *)
+let space_total config op =
+  1 + List.fold_left (fun acc s -> acc + space_size config s) 0 (spaces config op)
+
 (* Seeded from the full op digest (name, dims, iter kinds), not just
    op_name: two same-named ops with different shapes must not share a
    sampling stream — their spaces differ, and a shared stream made the
    "without replacement" budget behave differently per shape for no
    reason. Pinned by a determinism test. *)
 let sampling_seed (op : Linalg.t) = Hashtbl.hash (Linalg.digest op)
+
+(* The par-combo stream of a space: None (no Parallelize step) first,
+   then every nonzero combination of the parallel slots, head slot
+   varying slowest — shared by the sequential DFS and the frontier
+   decomposition so both enumerate in the same order. *)
+let par_combos (space : domain_space) : int array option Seq.t =
+  let n = Array.length space.trips in
+  let slot_opts = List.map snd space.par_slots in
+  Seq.cons None
+    (Seq.filter_map
+       (fun combo ->
+         if count_nonzero combo = 0 then None
+         else begin
+           let sizes = Array.make n 0 in
+           List.iteri
+             (fun k size -> sizes.(fst (List.nth space.par_slots k)) <- size)
+             combo;
+           Some (Some sizes)
+         end)
+       (product slot_opts))
+
+(* A frontier subtask: one independent subtrie of the (prefix;
+   parallelize; tile; swap; vectorize) decision trie — a space with its
+   prefix already applied, one parallel combo, and the tile choices of
+   the leading [frontier_depth] loops pinned. Subtasks share no mutable
+   state, so they evaluate on any domain; enumerating them in order and
+   concatenating their leaf streams reproduces the sequential DFS
+   leaf-for-leaf. *)
+type subtask = {
+  st_space : domain_space;
+  st_pre : Sched_state.t;  (* root with the space prefix applied *)
+  st_par : int array option;
+  st_par_count : int;
+  st_tile_prefix : int list;  (* pinned tile choices of the leading loops *)
+  st_rest_opts : int list list;  (* remaining loops' tile options *)
+}
+
+let rec split_at k l =
+  if k = 0 then ([], l)
+  else
+    match l with
+    | [] -> ([], [])
+    | x :: rest ->
+        let h, t = split_at (k - 1) rest in
+        (x :: h, t)
+
+(* Enumerate the frontier: (space, par combo, leading tile choices) in
+   exact sequential DFS order. [product] varies its head slowest, so
+   splitting the tile product at [frontier_depth] and enumerating
+   (head combo) x (rest combo) preserves the global candidate order.
+   Returns the root state alongside (the trivial [Vectorize] candidate
+   is the driver's, not a subtask). *)
+let subtasks ?(frontier_depth = 0) config op =
+  let root = Sched_state.init op in
+  let tasks = ref [] in
+  List.iter
+    (fun (space : domain_space) ->
+      let prefixed =
+        List.fold_left
+          (fun acc tr -> Result.bind acc (fun s -> Sched_state.apply s tr))
+          (Ok root) space.prefix
+      in
+      match prefixed with
+      | Error _ -> ()
+      | Ok pre ->
+          Seq.iter
+            (fun par_opt ->
+              let effective =
+                match par_opt with
+                | None -> space.trips
+                | Some sizes ->
+                    Array.mapi
+                      (fun l s -> if s > 0 then s else space.trips.(l))
+                      sizes
+              in
+              let par_count =
+                match par_opt with
+                | None -> 0
+                | Some sizes -> count_nonzero (Array.to_list sizes)
+              in
+              let tile_opts =
+                Array.to_list
+                  (Array.map (fun trip -> loop_options config trip) effective)
+              in
+              let head_opts, rest_opts = split_at frontier_depth tile_opts in
+              Seq.iter
+                (fun tile_prefix ->
+                  tasks :=
+                    {
+                      st_space = space;
+                      st_pre = pre;
+                      st_par = par_opt;
+                      st_par_count = par_count;
+                      st_tile_prefix = tile_prefix;
+                      st_rest_opts = rest_opts;
+                    }
+                    :: !tasks)
+                (product head_opts))
+            (par_combos space))
+    (spaces config op);
+  (root, List.rev !tasks)
+
+(* One subtask's leaves, in sequential DFS order: apply Parallelize once
+   for the whole subtrie, then enumerate the unpinned tile options, the
+   swaps and the final vectorize. A transformation that fails prunes its
+   subtree — exactly the candidates the naive loop would have skipped. *)
+let run_subtask config (st : subtask) ~eval =
+  let after_par =
+    match st.st_par with
+    | Some sizes when st.st_par_count > 0 -> (
+        match Sched_state.apply st.st_pre (Schedule.Parallelize sizes) with
+        | Ok s -> Some s
+        | Error _ -> None)
+    | Some _ | None -> Some st.st_pre
+  in
+  match after_par with
+  | None -> ()
+  | Some after_par ->
+      Seq.iter
+        (fun rest_combo ->
+          let tile_combo = st.st_tile_prefix @ rest_combo in
+          if st.st_par_count + count_nonzero tile_combo < config.min_tiled_loops
+          then ()
+          else begin
+            let tile_arr = Array.of_list tile_combo in
+            let after_tile =
+              if count_nonzero tile_combo > 0 then
+                match Sched_state.apply after_par (Schedule.Tile tile_arr) with
+                | Ok s -> Some s
+                | Error _ -> None
+              else Some after_par
+            in
+            match after_tile with
+            | None -> ()
+            | Some after_tile ->
+                List.iter
+                  (fun swap_opt ->
+                    let after_swap =
+                      match swap_opt with
+                      | None -> Some after_tile
+                      | Some i -> (
+                          match
+                            Sched_state.apply after_tile (Schedule.Swap i)
+                          with
+                          | Ok s -> Some s
+                          | Error _ -> None)
+                    in
+                    match after_swap with
+                    | None -> ()
+                    | Some swapped -> (
+                        match Sched_state.apply swapped Schedule.Vectorize with
+                        | Error _ -> ()
+                        | Ok final ->
+                            eval
+                              (assemble ~prefix:st.st_space.prefix
+                                 ~par_opt:st.st_par ~tile_combo:tile_arr
+                                 ~swap_opt)
+                              final))
+                  st.st_space.swap_opts
+          end)
+        (product st.st_rest_opts)
 
 (* Prefix-sharing enumeration of the exhaustive candidate stream: a DFS
    over the (prefix; parallelize; tile; swap; vectorize) decision trie
@@ -250,123 +417,19 @@ let sampling_seed (op : Linalg.t) = Hashtbl.hash (Linalg.digest op)
    fails identically inside every naive candidate sharing that prefix,
    so pruning the subtree skips exactly the candidates the naive loop
    would have skipped — explored counts, traces and the evaluator's
-   jitter stream line up. *)
+   jitter stream line up.
+
+   Implemented as the concatenation of the frontier subtasks at depth 0
+   (one subtask per (space, par combo)), which is the same trie walked
+   in the same order — the parallel search reuses the identical pieces
+   with a deeper frontier. *)
 let iter_candidates_shared config op
     ~(eval : Schedule.t -> Sched_state.t -> unit) =
-  let root = Sched_state.init op in
+  let root, tasks = subtasks config op in
   (match Sched_state.apply root Schedule.Vectorize with
   | Ok final -> eval [ Schedule.Vectorize ] final
   | Error _ -> ());
-  List.iter
-    (fun (space : domain_space) ->
-      let prefixed =
-        List.fold_left
-          (fun acc tr -> Result.bind acc (fun s -> Sched_state.apply s tr))
-          (Ok root) space.prefix
-      in
-      match prefixed with
-      | Error _ -> ()
-      | Ok pre ->
-          let n = Array.length space.trips in
-          let par_combos : int array option Seq.t =
-            let slot_opts = List.map snd space.par_slots in
-            Seq.cons None
-              (Seq.filter_map
-                 (fun combo ->
-                   if count_nonzero combo = 0 then None
-                   else begin
-                     let sizes = Array.make n 0 in
-                     List.iteri
-                       (fun k size ->
-                         sizes.(fst (List.nth space.par_slots k)) <- size)
-                       combo;
-                     Some (Some sizes)
-                   end)
-                 (product slot_opts))
-          in
-          Seq.iter
-            (fun par_opt ->
-              let after_par =
-                match par_opt with
-                | Some sizes when count_nonzero (Array.to_list sizes) > 0 -> (
-                    match
-                      Sched_state.apply pre (Schedule.Parallelize sizes)
-                    with
-                    | Ok s -> Some s
-                    | Error _ -> None)
-                | Some _ | None -> Some pre
-              in
-              match after_par with
-              | None -> ()
-              | Some after_par ->
-                  let effective =
-                    match par_opt with
-                    | None -> space.trips
-                    | Some sizes ->
-                        Array.mapi
-                          (fun l s -> if s > 0 then s else space.trips.(l))
-                          sizes
-                  in
-                  let par_count =
-                    match par_opt with
-                    | None -> 0
-                    | Some sizes -> count_nonzero (Array.to_list sizes)
-                  in
-                  let tile_opts =
-                    Array.to_list
-                      (Array.map (fun trip -> loop_options config trip) effective)
-                  in
-                  Seq.iter
-                    (fun tile_combo ->
-                      if
-                        par_count + count_nonzero tile_combo
-                        < config.min_tiled_loops
-                      then ()
-                      else begin
-                        let tile_arr = Array.of_list tile_combo in
-                        let after_tile =
-                          if count_nonzero tile_combo > 0 then
-                            match
-                              Sched_state.apply after_par (Schedule.Tile tile_arr)
-                            with
-                            | Ok s -> Some s
-                            | Error _ -> None
-                          else Some after_par
-                        in
-                        match after_tile with
-                        | None -> ()
-                        | Some after_tile ->
-                            List.iter
-                              (fun swap_opt ->
-                                let after_swap =
-                                  match swap_opt with
-                                  | None -> Some after_tile
-                                  | Some i -> (
-                                      match
-                                        Sched_state.apply after_tile
-                                          (Schedule.Swap i)
-                                      with
-                                      | Ok s -> Some s
-                                      | Error _ -> None)
-                                in
-                                match after_swap with
-                                | None -> ()
-                                | Some st -> (
-                                    match
-                                      Sched_state.apply st Schedule.Vectorize
-                                    with
-                                    | Error _ -> ()
-                                    | Ok final ->
-                                        eval
-                                          (assemble ~prefix:space.prefix
-                                             ~par_opt ~tile_combo:tile_arr
-                                             ~swap_opt)
-                                          final))
-                              space.swap_opts
-                      end)
-                    (product tile_opts))
-            par_combos)
-    (spaces config op)
+  List.iter (fun st -> run_subtask config st ~eval) tasks
 
 (* The shared skeleton of [search]/[search_naive]: bookkeeping plus the
    budgeted sampling fallback; only the exhaustive branch differs. *)
@@ -389,9 +452,7 @@ let search_with ~exhaustive ?(config = default_config) evaluator op =
     | Ok speedup -> record sched speedup
   in
   let sps = spaces config op in
-  let total_size =
-    1 + List.fold_left (fun acc s -> acc + space_size config s) 0 sps
-  in
+  let total_size = space_total config op in
   if total_size <= config.max_schedules then
     (* Small space: full exhaustive enumeration. *)
     exhaustive config op ~evaluate ~record
@@ -425,10 +486,146 @@ let search_with ~exhaustive ?(config = default_config) evaluator op =
     trace = Array.of_list (List.rev !trace);
   }
 
-let search ?config evaluator op =
-  search_with ?config evaluator op ~exhaustive:(fun config op ~evaluate:_ ~record ->
-      iter_candidates_shared config op ~eval:(fun sched final ->
-          record sched (Evaluator.speedup evaluator final)))
+(* ---- Domain-parallel search ---------------------------------------
+
+   The decomposition follows Par_eval's determinism contract: subtask
+   ENUMERATION stays sequential and jobs-independent, only EVALUATION
+   fans out across the pool (on evaluator forks with trie-path-keyed
+   noise streams), and results merge on this domain in enumeration
+   order, replaying the sequential bookkeeping verbatim. With a
+   noiseless evaluator every [jobs] value is byte-identical. *)
+
+let default_frontier_depth = 2
+let sampling_chunk = 32
+
+let search_parallel ~config ~frontier_depth ~pool evaluator op =
+  let best_schedule = ref [ Schedule.Vectorize ] in
+  let best_speedup = ref 0.0 in
+  let explored = ref 0 in
+  let trace = ref [] in
+  let record sched speedup =
+    incr explored;
+    if speedup > !best_speedup then begin
+      best_speedup := speedup;
+      best_schedule := sched
+    end;
+    trace := (!explored, !best_speedup) :: !trace
+  in
+  let sps = spaces config op in
+  let total_size = space_total config op in
+  (* Forks count their own evaluations; the deltas are summed back into
+     the parent so [Evaluator.explored] reads the same as after a
+     sequential run. *)
+  let delta = ref 0 in
+  if total_size <= config.max_schedules then begin
+    (* Exhaustive: one pool task per frontier subtask. The trivial
+       vectorize candidate is evaluated here on the parent, exactly
+       where the sequential DFS evaluates it. *)
+    let root, tasks = subtasks ~frontier_depth config op in
+    (match Sched_state.apply root Schedule.Vectorize with
+    | Ok final ->
+        record [ Schedule.Vectorize ] (Evaluator.speedup evaluator final)
+    | Error _ -> ());
+    let base = Par_eval.noise_base evaluator in
+    let results =
+      Util.Domain_pool.map_array pool
+        (fun (i, st) ->
+          let fork = Par_eval.derived_fork evaluator ~base ~stream:i in
+          let out = ref [] in
+          run_subtask config st ~eval:(fun sched final ->
+              out := (sched, Evaluator.speedup fork final) :: !out);
+          (List.rev !out, Evaluator.explored fork))
+        (Array.of_list (List.mapi (fun i st -> (i, st)) tasks))
+    in
+    Array.iter
+      (fun (leaves, d) ->
+        delta := !delta + d;
+        List.iter (fun (sched, s) -> record sched s) leaves)
+      results
+  end
+  else begin
+    (* Sampled fallback: candidate DRAWS stay sequential on this domain
+       — the rng / dedup / attempts stream is exactly the jobs=1 one —
+       and only evaluations fan out, in chunks merged in draw order.
+       Each chunk asks for at most the remaining budget, so successes
+       never overflow it; when chunk evaluations fail ([apply_all]
+       errors) the next chunk draws more, just as the sequential loop
+       redraws after a failure. *)
+    (match Evaluator.schedule_speedup evaluator op [ Schedule.Vectorize ] with
+    | Error _ -> ()
+    | Ok s -> record [ Schedule.Vectorize ] s);
+    let base = Par_eval.noise_base evaluator in
+    let rng = Util.Rng.create (sampling_seed op) in
+    let opts = loop_options_memo config in
+    let seen = Hashtbl.create 1024 in
+    let attempts = ref 0 in
+    let max_attempts = config.max_schedules * 20 in
+    let cand_idx = ref 0 in
+    let exhausted = ref false in
+    while (not !exhausted) && !explored < config.max_schedules do
+      let want = min sampling_chunk (config.max_schedules - !explored) in
+      let chunk = ref [] in
+      let got = ref 0 in
+      while !got < want && !attempts < max_attempts do
+        incr attempts;
+        let space = Util.Rng.choice_list rng sps in
+        match random_candidate rng config ~opts space with
+        | None -> ()
+        | Some sched ->
+            if not (Hashtbl.mem seen sched) then begin
+              Hashtbl.add seen sched ();
+              chunk := sched :: !chunk;
+              incr got
+            end
+      done;
+      match List.rev !chunk with
+      | [] -> exhausted := true
+      | chunk ->
+          let tagged =
+            Array.of_list
+              (List.mapi (fun k sched -> (!cand_idx + k, sched)) chunk)
+          in
+          cand_idx := !cand_idx + List.length chunk;
+          let results =
+            Util.Domain_pool.map_array pool
+              (fun (i, sched) ->
+                let fork = Par_eval.derived_fork evaluator ~base ~stream:i in
+                (* Bind before reading the counter: tuple components
+                   evaluate right-to-left, so an inline pair would read
+                   [explored] before the evaluation bumps it. *)
+                let r = Evaluator.schedule_speedup fork op sched in
+                (r, Evaluator.explored fork))
+              tagged
+          in
+          Array.iteri
+            (fun k (r, d) ->
+              delta := !delta + d;
+              if !explored < config.max_schedules then
+                match r with
+                | Ok s -> record (snd tagged.(k)) s
+                | Error _ -> ())
+            results
+    done
+  end;
+  Evaluator.set_explored evaluator (Evaluator.explored evaluator + !delta);
+  {
+    best_schedule = !best_schedule;
+    best_speedup = !best_speedup;
+    explored = !explored;
+    trace = Array.of_list (List.rev !trace);
+  }
+
+let search ?(config = default_config) ?(jobs = 1) ?pool
+    ?(frontier_depth = default_frontier_depth) evaluator op =
+  if jobs < 1 then invalid_arg "Auto_scheduler.search: jobs must be >= 1";
+  if jobs = 1 && Option.is_none pool then
+    search_with ~config evaluator op
+      ~exhaustive:(fun config op ~evaluate:_ ~record ->
+        iter_candidates_shared config op ~eval:(fun sched final ->
+            record sched (Evaluator.speedup evaluator final)))
+  else
+    Par_eval.with_pool ?pool ~jobs (fun pool ->
+        search_parallel ~config ~frontier_depth ~pool evaluator op)
 
 let search_naive ?config evaluator op =
   search_with ?config evaluator op ~exhaustive:(fun config op ~evaluate ~record:_ ->
@@ -448,9 +645,7 @@ let default_rerank_k = 64
 
 let gather_candidates config op =
   let sps = spaces config op in
-  let total_size =
-    1 + List.fold_left (fun acc s -> acc + space_size config s) 0 sps
-  in
+  let total_size = space_total config op in
   if total_size <= config.max_schedules then
     List.of_seq (candidates config op)
   else begin
@@ -480,15 +675,18 @@ let gather_candidates config op =
   end
 
 let search_staged ?(config = default_config) ?ranker
-    ?(rerank_k = default_rerank_k) evaluator op =
+    ?(rerank_k = default_rerank_k) ?(jobs = 1) ?pool evaluator op =
+  if jobs < 1 then
+    invalid_arg "Auto_scheduler.search_staged: jobs must be >= 1";
   match ranker with
-  | None -> search ~config evaluator op
+  | None -> search ~config ~jobs ?pool evaluator op
   | Some rank ->
       let cands = Array.of_list (gather_candidates config op) in
-      (* One batched ranking pass, then sort ascending by predicted
-         log-seconds; ties (and equal predictions from a degenerate
-         model) fall back to enumeration order, keeping the stage
-         deterministic. *)
+      (* One batched ranking pass over the WHOLE aggregated candidate
+         set (the ranker amortizes it into a single network forward),
+         then sort ascending by predicted log-seconds; ties (and equal
+         predictions from a degenerate model) fall back to enumeration
+         order, keeping the stage deterministic. *)
       let predictions = rank cands in
       if Array.length predictions <> Array.length cands then
         invalid_arg "Auto_scheduler.search_staged: ranker size mismatch";
@@ -503,31 +701,70 @@ let search_staged ?(config = default_config) ?ranker
       let best_speedup = ref 0.0 in
       let explored = ref 0 in
       let trace = ref [] in
+      let record sched speedup =
+        incr explored;
+        if speedup > !best_speedup then begin
+          best_speedup := speedup;
+          best_schedule := sched
+        end;
+        trace := (!explored, !best_speedup) :: !trace
+      in
       let evaluate sched =
         match Evaluator.schedule_speedup evaluator op sched with
         | Error _ -> ()
-        | Ok speedup ->
-            incr explored;
-            if speedup > !best_speedup then begin
-              best_speedup := speedup;
-              best_schedule := sched
-            end;
-            trace := (!explored, !best_speedup) :: !trace
+        | Ok speedup -> record sched speedup
       in
       (* The trivial vectorize schedule is always exact-evaluated, so
-         [best_speedup] is well-defined even if the ranker buries it. *)
+         [best_speedup] is well-defined even if the ranker buries it.
+         The survivors are selected before any evaluation (selection
+         depends only on the ranking), which is what lets the parallel
+         path fan their exact evaluations out. *)
       let trivial = [ Schedule.Vectorize ] in
       let trivial_key = Schedule.dedup_key trivial in
-      evaluate trivial;
-      let taken = ref 0 in
-      Array.iter
-        (fun (_, _, sched) ->
-          if !taken < rerank_k then
-            if Schedule.dedup_key sched <> trivial_key then begin
+      let selected =
+        let taken = ref 0 in
+        let out = ref [] in
+        Array.iter
+          (fun (_, _, sched) ->
+            if !taken < rerank_k && Schedule.dedup_key sched <> trivial_key
+            then begin
               incr taken;
-              evaluate sched
+              out := sched :: !out
             end)
-        scored;
+          scored;
+        List.rev !out
+      in
+      if jobs = 1 && Option.is_none pool then begin
+        evaluate trivial;
+        List.iter evaluate selected
+      end
+      else
+        Par_eval.with_pool ?pool ~jobs (fun pool ->
+            evaluate trivial;
+            let base = Par_eval.noise_base evaluator in
+            let tagged =
+              Array.of_list (List.mapi (fun i sched -> (i, sched)) selected)
+            in
+            let results =
+              Util.Domain_pool.map_array pool
+                (fun (i, sched) ->
+                  let fork = Par_eval.derived_fork evaluator ~base ~stream:i in
+                  (* let-bound: tuples evaluate right-to-left, and the
+                     counter must be read after the evaluation. *)
+                  let r = Evaluator.schedule_speedup fork op sched in
+                  (r, Evaluator.explored fork))
+                tagged
+            in
+            let delta = ref 0 in
+            Array.iteri
+              (fun k (r, d) ->
+                delta := !delta + d;
+                match r with
+                | Ok s -> record (snd tagged.(k)) s
+                | Error _ -> ())
+              results;
+            Evaluator.set_explored evaluator
+              (Evaluator.explored evaluator + !delta));
       {
         best_schedule = !best_schedule;
         best_speedup = !best_speedup;

@@ -39,13 +39,33 @@ val candidates : config -> Linalg.t -> Schedule.t Seq.t
 (** The deterministic candidate stream for an op, before the budget
     cap. Exposed for tests. *)
 
+val space_total : config -> Linalg.t -> int
+(** The enumeration-size estimate {!search} compares against
+    [max_schedules] to pick full enumeration over budgeted sampling: an
+    upper bound on the length of {!candidates} (the per-space product
+    ignores the min-tiled filter). Exposed so tests and benches can
+    pin which branch a given op and budget exercise. *)
+
 val sampling_seed : Linalg.t -> int
 (** Seed of the budgeted-sampling RNG, derived from {!Linalg.digest}
     (name, dims, iter kinds) — not just [op_name], so same-named ops
     with different shapes draw decorrelated candidate streams. Exposed
     so the determinism tests can pin the derivation. *)
 
-val search : ?config:config -> Evaluator.t -> Linalg.t -> result
+val default_frontier_depth : int
+(** Default trie-split depth of the parallel search (2): subtasks pin
+    the parallel combo plus the tile choices of the leading two loops,
+    which yields enough subtasks to feed and steal-balance a pool
+    without making them trivial. *)
+
+val search :
+  ?config:config ->
+  ?jobs:int ->
+  ?pool:Util.Domain_pool.t ->
+  ?frontier_depth:int ->
+  Evaluator.t ->
+  Linalg.t ->
+  result
 (** Run the search. Candidates whose application fails are skipped
     without consuming budget. Always explores at least the trivial
     [vectorize] schedule, so [best_speedup] is well-defined.
@@ -56,7 +76,21 @@ val search : ?config:config -> Evaluator.t -> Linalg.t -> result
     it, and evaluation goes through the evaluator's state-seconds
     transposition cache. Results (best schedule, speedup, explored,
     trace) are bit-identical to {!search_naive} — the differential
-    property suite asserts it. *)
+    property suite asserts it.
+
+    [jobs] (default 1; [Invalid_argument] below 1) parallelizes
+    evaluation over OCaml domains: the decision trie splits at
+    [frontier_depth] into independent subtrie tasks evaluated on a
+    work-stealing pool against the evaluator's shared (sharded,
+    domain-safe) caches, each task on an {!Evaluator.fork} whose noise
+    stream is derived from the subtask's position in the enumeration;
+    results merge back in enumeration order. The sampled fallback
+    likewise keeps its draws sequential and fans evaluations out in
+    chunks. Consequently results are BYTE-IDENTICAL across all [jobs]
+    values for noiseless evaluators, and across all [jobs >= 2] when
+    [noise > 0]. Pass [pool] to reuse a caller-owned pool (then [jobs]
+    only selects the parallel path); otherwise a private pool of
+    [jobs] workers is created and torn down around the call. *)
 
 val search_naive : ?config:config -> Evaluator.t -> Linalg.t -> result
 (** Reference implementation: re-applies every candidate from scratch
@@ -79,6 +113,8 @@ val search_staged :
   ?config:config ->
   ?ranker:(Schedule.t array -> float array) ->
   ?rerank_k:int ->
+  ?jobs:int ->
+  ?pool:Util.Domain_pool.t ->
   Evaluator.t ->
   Linalg.t ->
   result
@@ -89,6 +125,12 @@ val search_staged :
     rank in enumeration order, so the stage is deterministic. The
     trivial vectorize schedule is always evaluated exactly, and
     [explored]/[trace] count exact evaluations only.
+
+    [jobs]/[pool] follow {!search}'s contract: ranking stays one
+    batched call on the calling domain, the [rerank_k] exact
+    evaluations fan out over the pool on derived-stream forks and merge
+    in rank order — byte-identical to [jobs = 1] for noiseless
+    evaluators.
 
     Without [ranker] this is {!search} — byte-identical results, the
     guaranteed fallback when no surrogate checkpoint is available. *)

@@ -32,6 +32,8 @@ val search :
   ?config:config ->
   ?ranker:(Sched_state.t array -> float array) ->
   ?rerank_k:int ->
+  ?jobs:int ->
+  ?pool:Util.Domain_pool.t ->
   Evaluator.t ->
   Linalg.t ->
   result
@@ -44,4 +46,14 @@ val search :
     call — no cost-model call, no transformation applied — and only
     the [rerank_k] best proceed to exact scoring and beam selection.
     [explored] counts exact scorings only. Without [ranker], behavior
-    is byte-identical to the exact search. *)
+    is byte-identical to the exact search.
+
+    [jobs] (default 1; [Invalid_argument] below 1) parallelizes each
+    depth over OCaml domains: expansion and exact scoring fan out on a
+    work-stealing pool — scoring on {!Evaluator.fork}s with noise
+    streams derived from a global scored-state index — while dedup,
+    ranking and beam selection merge results on the calling domain in
+    expansion order. Results are byte-identical across all [jobs]
+    values for noiseless evaluators, and across all [jobs >= 2] when
+    the evaluator has [noise > 0]. Pass [pool] to reuse a caller-owned
+    pool (then [jobs] only selects the parallel path). *)

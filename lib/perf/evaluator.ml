@@ -13,6 +13,14 @@ type t = {
   mutable explored : int;
   noise : float;
   noise_rng : Util.Rng.t;
+  (* Emulated hardware-measurement stall per state-seconds COMPUTATION
+     (transposition-cache misses only — a cached measurement needs no
+     re-measurement). The analytic cost model answers in microseconds,
+     which no real deployment does; benches of parallel search scaling
+     would otherwise measure this host's core count instead of how well
+     the search overlaps measurement latency. Bit-invisible to every
+     result: only wall-clock changes. 0 (off) by default. *)
+  measure_delay_s : float;
   (* Physical-identity memo for [base_seconds]: a search evaluates
      thousands of candidates of the SAME original op, so the common case
      is the exact same [Linalg.t] value — skip even the digest+lookup.
@@ -41,7 +49,8 @@ let default_state_cache_capacity = 65536
 
 let create ?(machine = Machine.e5_2680_v4) ?(noise = 0.0) ?(noise_seed = 0)
     ?(cache_capacity = default_cache_capacity)
-    ?(state_cache_capacity = default_state_cache_capacity) () =
+    ?(state_cache_capacity = default_state_cache_capacity)
+    ?(measure_delay_s = 0.0) () =
   {
     machine;
     base_cache = Util.Sharded_cache.create ~capacity:cache_capacity ();
@@ -51,6 +60,7 @@ let create ?(machine = Machine.e5_2680_v4) ?(noise = 0.0) ?(noise_seed = 0)
     explored = 0;
     noise;
     noise_rng = Util.Rng.create noise_seed;
+    measure_delay_s;
     base_memo = None;
     machine_suffix = "|" ^ machine.Machine.name;
     measure_hook = None;
@@ -70,6 +80,7 @@ let fork t =
     explored = 0;
     noise = t.noise;
     noise_rng = Util.Rng.create 0;
+    measure_delay_s = t.measure_delay_s;
     base_memo = None;
     machine_suffix = t.machine_suffix;
     (* Forks inherit the measurement tap (the dataset logger is
@@ -130,6 +141,11 @@ let state_key t (state : Sched_state.t) =
 
 let pure_state_seconds t (state : Sched_state.t) =
   let compute () =
+    (* The sleep blocks only this domain's OS thread, so concurrent
+       misses on distinct keys stall concurrently — which is exactly
+       the overlap a parallel search buys on measurement-bound
+       deployments. [find_or_compute] runs us outside the shard lock. *)
+    if t.measure_delay_s > 0.0 then Unix.sleepf t.measure_delay_s;
     let s =
       Cost_model.seconds ~machine:t.machine
         ~iter_kinds:state.Sched_state.op.Linalg.iter_kinds
@@ -199,9 +215,11 @@ let render_cache_stats stats =
       if total = 0 then 0.0
       else 100.0 *. float_of_int s.Util.Sharded_cache.hits /. float_of_int total
     in
-    Printf.sprintf "%s %d/%d hits (%.1f%%, %d evictions, %d live/%d cap)" tag
+    Printf.sprintf
+      "%s %d/%d hits (%.1f%%, %d evictions, %d contended, %d live/%d cap)" tag
       s.Util.Sharded_cache.hits total rate s.Util.Sharded_cache.evictions
-      s.Util.Sharded_cache.size s.Util.Sharded_cache.capacity
+      s.Util.Sharded_cache.contention s.Util.Sharded_cache.size
+      s.Util.Sharded_cache.capacity
   in
   let groups = List.map one (cache_stats_groups stats) in
   let groups =
@@ -213,6 +231,7 @@ let render_cache_kv stats =
   String.concat " "
     (List.map
        (fun (tag, (s : Util.Sharded_cache.stats)) ->
-         Printf.sprintf "eval_%s_hits=%d eval_%s_misses=%d" tag
-           s.Util.Sharded_cache.hits tag s.Util.Sharded_cache.misses)
+         Printf.sprintf "eval_%s_hits=%d eval_%s_misses=%d eval_%s_contention=%d"
+           tag s.Util.Sharded_cache.hits tag s.Util.Sharded_cache.misses tag
+           s.Util.Sharded_cache.contention)
        (cache_stats_groups stats))

@@ -15,6 +15,7 @@ val create :
   ?noise_seed:int ->
   ?cache_capacity:int ->
   ?state_cache_capacity:int ->
+  ?measure_delay_s:float ->
   unit ->
   t
 (** Defaults to {!Machine.e5_2680_v4} and noiseless measurements.
@@ -30,7 +31,15 @@ val create :
     65536 entries, [<= 0] disables it (the naive-reference mode the
     differential tests and benches compare against). The cache stores
     the pure pre-jitter cost-model value and jitter is applied after
-    lookup, so results are bit-identical with the cache on or off. *)
+    lookup, so results are bit-identical with the cache on or off.
+    [measure_delay_s] emulates the hardware-measurement stall of a real
+    deployment: every state-seconds computation (transposition-cache
+    miss) sleeps that long before pricing, so parallel-search benches
+    scale with how well the search overlaps measurement latency instead
+    of with this host's core count — the same device the serve engine's
+    [measure_delay_s] models at batch level. Cache hits stay instant
+    and results are bit-identical with the delay on or off; 0 (off) by
+    default. *)
 
 val fork : t -> t
 (** A worker-local evaluator for parallel rollouts: shares the (domain

@@ -4,6 +4,7 @@ type config = {
   checkpoint : string option;
   cache_capacity : int;
   measure_delay_s : float;
+  jobs : int;
 }
 
 let default_config =
@@ -13,6 +14,7 @@ let default_config =
     checkpoint = None;
     cache_capacity = 4096;
     measure_delay_s = 0.0;
+    jobs = 1;
   }
 
 type outcome = { schedule : string; speedup : float }
@@ -23,6 +25,11 @@ type t = {
   base_env : Env.t;
   cache : (string, outcome) Util.Sharded_cache.t;
   digest : string;
+  (* [Some] iff [cfg.jobs > 1]: the rollout pool the batched greedy
+     decode chunks over. FIFO (not stealing): chunks are equal-sized
+     slices of one batch. Shared by every server worker that calls
+     [solve_batch] — the pool is multi-producer safe. *)
+  pool : Util.Domain_pool.t option;
 }
 
 (* The digest is over the canonical serialized weights, not the
@@ -37,6 +44,9 @@ let digest_params params =
       Digest.to_hex (Digest.file path))
 
 let create cfg =
+  if cfg.jobs < 1 then
+    Error (Printf.sprintf "jobs must be >= 1 (got %d)" cfg.jobs)
+  else
   match Env_config.validate cfg.env_cfg with
   | Error e -> Error ("bad env config: " ^ e)
   | Ok () -> (
@@ -56,7 +66,15 @@ let create cfg =
             Util.Sharded_cache.create ~capacity:cfg.cache_capacity ()
           in
           let digest = digest_params (Policy.params policy) in
-          Ok { cfg; policy; base_env; cache; digest })
+          let pool =
+            if cfg.jobs > 1 then
+              Some (Util.Domain_pool.create ~size:cfg.jobs)
+            else None
+          in
+          Ok { cfg; policy; base_env; cache; digest; pool })
+
+let shutdown t =
+  match t.pool with None -> () | Some p -> Util.Domain_pool.shutdown p
 
 let policy_digest t = t.digest
 
@@ -189,6 +207,37 @@ let rollout_batch t (ops : Linalg.t array) :
   done;
   results
 
+(* Chunked parallel decode: slice the batch into [jobs] contiguous
+   chunks and run each as its own lockstep rollout on the pool. Every
+   row of [rollout_batch] is independent (greedy decode, per-row forked
+   env), so the concatenated chunk results are exactly what one big
+   lockstep batch computes — splitting changes only which rows share a
+   forward pass, never any row's answer. *)
+let rollout_chunked t (ops : Linalg.t array) =
+  match t.pool with
+  | None -> rollout_batch t ops
+  | Some pool ->
+      let n = Array.length ops in
+      let jobs = Util.Domain_pool.size pool in
+      let chunk = (n + jobs - 1) / jobs in
+      if n = 0 then [||]
+      else if n <= 1 || jobs <= 1 then rollout_batch t ops
+      else begin
+        let slices = ref [] in
+        let start = ref 0 in
+        while !start < n do
+          let len = min chunk (n - !start) in
+          slices := (!start, len) :: !slices;
+          start := !start + len
+        done;
+        let parts =
+          Util.Domain_pool.map_array pool
+            (fun (start, len) -> rollout_batch t (Array.sub ops start len))
+            (Array.of_list (List.rev !slices))
+        in
+        Array.concat (Array.to_list parts)
+      end
+
 let solve_batch t ops =
   let n = Array.length ops in
   let keys = Array.map (cache_key t) ops in
@@ -218,11 +267,17 @@ let solve_batch t ops =
        microseconds, which no real deployment does — schedules are
        timed on hardware — so benchmarks of fleet scaling would
        otherwise be bottlenecked by this host's single core instead of
-       by measurement latency. Cache hits skip it: a cached result
-       needs no re-measurement. Off (0.0) by default. *)
-    if t.cfg.measure_delay_s > 0.0 then
-      Unix.sleepf (t.cfg.measure_delay_s *. float_of_int (Array.length unique));
-    let computed = rollout_batch t (Array.map (fun i -> ops.(i)) unique) in
+       by measurement latency. With [jobs > 1] the engine measures
+       [jobs] nests concurrently, so the stall shrinks to the round
+       count. Cache hits skip it: a cached result needs no
+       re-measurement. Off (0.0) by default. *)
+    if t.cfg.measure_delay_s > 0.0 then begin
+      let rounds =
+        (Array.length unique + t.cfg.jobs - 1) / t.cfg.jobs
+      in
+      Unix.sleepf (t.cfg.measure_delay_s *. float_of_int rounds)
+    end;
+    let computed = rollout_chunked t (Array.map (fun i -> ops.(i)) unique) in
     Array.iteri
       (fun k i ->
         (match computed.(k) with

@@ -25,16 +25,26 @@ type config = {
       (** emulated hardware-measurement time per unique uncached nest
           in a batch (a real deployment times candidate schedules on
           hardware; the analytic evaluator does not). [solve_batch]
-          sleeps [measure_delay_s * unique_misses] before rolling out,
-          so serving latency is measurement-bound the way production
-          is, cache hits stay instant, and fleet benchmarks scale with
-          replicas instead of with this host's core count. 0 (off) by
+          sleeps [measure_delay_s * ceil(unique_misses / jobs)] before
+          rolling out — [jobs] nests measure concurrently — so serving
+          latency is measurement-bound the way production is, cache
+          hits stay instant, and fleet benchmarks scale with replicas
+          instead of with this host's core count. 0 (off) by
           default. *)
+  jobs : int;
+      (** rollout parallelism (default 1; {!create} rejects values
+          below 1). Above 1 the engine owns a {!Util.Domain_pool} of
+          [jobs] workers; each miss batch splits into [jobs] contiguous
+          chunks decoded as independent lockstep rollouts. Rows of a
+          batch are independent (greedy decode, per-row forked env), so
+          results are identical to [jobs = 1] for any batch and any
+          chunking — only latency changes. Call {!shutdown} when done
+          to join the pool. *)
 }
 
 val default_config : config
 (** [Env_config.default], hidden 64, no checkpoint, capacity 4096,
-    no measurement delay. *)
+    no measurement delay, jobs 1. *)
 
 type outcome = {
   schedule : string;  (** printable {!Schedule} notation *)
@@ -43,8 +53,13 @@ type outcome = {
 
 val create : config -> (t, string) result
 (** Build the policy (loading [checkpoint] if given), the base
-    environment and the result cache. [Error] on an unreadable or
-    mismatched checkpoint. *)
+    environment, the result cache and (for [jobs > 1]) the rollout
+    pool. [Error] on an unreadable or mismatched checkpoint, or on
+    [jobs < 1]. *)
+
+val shutdown : t -> unit
+(** Join the rollout pool, if any. Idempotent; a no-op for
+    [jobs = 1]. Call after the last {!solve_batch}. *)
 
 val policy_digest : t -> string
 (** Hex digest of the served weights (canonical serialized form), the

@@ -294,7 +294,10 @@ let eval_cache_metrics t =
       c.Util.Sharded_cache.misses;
     counter
       (Printf.sprintf "serve_eval_%s_cache_evictions_total" tag)
-      c.Util.Sharded_cache.evictions
+      c.Util.Sharded_cache.evictions;
+    counter
+      (Printf.sprintf "serve_eval_%s_cache_contention_total" tag)
+      c.Util.Sharded_cache.contention
   in
   List.iter
     (fun (tag, st) -> cache tag st)
@@ -375,6 +378,9 @@ let drain t =
       | None -> ());
       Waker.close t.waker;
       Util.Domain_pool.shutdown t.pool;
+      (* Workers are gone, so no solve_batch is in flight: the engine's
+         rollout pool (if --jobs gave it one) can join too. *)
+      Engine.shutdown t.engine;
       Mutex.lock t.mutex;
       t.drain_done <- true;
       Condition.broadcast t.cond;

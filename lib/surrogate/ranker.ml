@@ -36,6 +36,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable lock_waits : int;  (* cache_mutex acquisitions that blocked *)
   (* the reused forward-pass buffers are not domain-safe on their own *)
   forward_mutex : Mutex.t;
   input : Tensor.t;  (* [1; Features.dim], refilled per score *)
@@ -58,6 +59,7 @@ let create ?(cache_capacity = default_cache_capacity) ~machine model =
     hits = 0;
     misses = 0;
     evictions = 0;
+    lock_waits = 0;
     forward_mutex = Mutex.create ();
     input = Tensor.zeros [| 1; Features.dim |];
     ws = Tensor.Workspace.create ();
@@ -69,13 +71,26 @@ let of_checkpoint ?cache_capacity ~machine ~path () =
 let machine t = t.machine
 let model t = t.model
 
+(* Contention-counting acquisition of the memo mutex, mirroring
+   Sharded_cache: a blocked acquisition is counted once the lock is
+   ours, so the counter needs no synchronization of its own. Under
+   parallel search many workers funnel into this single mutex — the
+   counter is what shows whether that ever matters. *)
+let lock_cache t =
+  if Mutex.try_lock t.cache_mutex then ()
+  else begin
+    Mutex.lock t.cache_mutex;
+    t.lock_waits <- t.lock_waits + 1
+  end
+
 let cache_stats t : Util.Sharded_cache.stats =
-  Mutex.lock t.cache_mutex;
+  lock_cache t;
   let s =
     {
       Util.Sharded_cache.hits = t.hits;
       misses = t.misses;
       evictions = t.evictions;
+      contention = t.lock_waits;
       size = Hashtbl.length t.predictions;
       capacity = t.capacity;
       shards = 1;
@@ -136,7 +151,7 @@ let op_prefix_locked t op =
    threads compute and one result wins, which is observationally
    identical because the prediction is pure. *)
 let score_schedule t op sched =
-  Mutex.lock t.cache_mutex;
+  lock_cache t;
   let key = op_prefix_locked t op ^ Schedule.dedup_key sched in
   let cached = Hashtbl.find_opt t.predictions key in
   (match cached with
@@ -152,7 +167,7 @@ let score_schedule t op sched =
           ~sched:(Features.schedule_block sched)
       in
       let v = score_features t features in
-      Mutex.lock t.cache_mutex;
+      lock_cache t;
       memo_add_locked t key v;
       Mutex.unlock t.cache_mutex;
       v
@@ -231,7 +246,7 @@ let score_schedules t op (scheds : Schedule.t array) =
     let op_blk = Features.cached_op_block t.op_blocks op in
     (* One lock covers the whole lookup scan; keys are built once and
        reused for insertion. *)
-    Mutex.lock t.cache_mutex;
+    lock_cache t;
     let prefix = op_prefix_locked t op in
     let buf = Buffer.create (String.length prefix + 48) in
     let keys =
@@ -258,7 +273,7 @@ let score_schedules t op (scheds : Schedule.t array) =
     let misses = List.rev !misses in
     Counters.add_scored (List.length misses);
     score_misses t op_blk misses out;
-    Mutex.lock t.cache_mutex;
+    lock_cache t;
     List.iter
       (fun (i, _) -> memo_add_locked t keys.(i) out.(i))
       misses;

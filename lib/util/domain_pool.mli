@@ -7,9 +7,20 @@
     mutex/condition work queue over [Domain.spawn], built for the
     parallel rollout engine but generic.
 
-    Tasks run in FIFO submission order (each worker pops the oldest
-    queued task); completion order is unspecified. Task closures must
-    only touch state that is safe to share across domains. *)
+    Two scheduling modes share one API. {!create} builds the FIFO pool:
+    one shared queue, tasks started in submission order — right for
+    streams of similar-sized tasks. {!create_stealing} builds the
+    work-stealing variant for irregular task sizes (e.g. subtrie tasks
+    of the parallel auto-scheduler, where one subtask may enumerate
+    10x the leaves of another): submissions round-robin across
+    per-worker deques, a worker drains its own deque front-first and,
+    when empty, steals the newest task from another worker's back — so
+    a worker stuck on a huge subtask sheds its backlog to idle workers
+    instead of stalling the tail of the run.
+
+    In both modes completion order is unspecified, task start order in
+    the stealing pool is only approximately FIFO, and task closures
+    must only touch state that is safe to share across domains. *)
 
 type t
 
@@ -17,13 +28,22 @@ type 'a promise
 (** A handle for one submitted task's eventual result. *)
 
 val create : size:int -> t
-(** Spawn [size] worker domains (>= 1). Remember that the main domain
-    also counts toward the machine's cores: for [n]-way parallelism
-    where the caller blocks in {!await}, a pool of [n] workers is
-    right; if the caller works alongside the pool, use [n - 1]. *)
+(** Spawn [size] worker domains (>= 1) draining one shared FIFO queue.
+    Remember that the main domain also counts toward the machine's
+    cores: for [n]-way parallelism where the caller blocks in {!await},
+    a pool of [n] workers is right; if the caller works alongside the
+    pool, use [n - 1]. *)
+
+val create_stealing : size:int -> t
+(** Spawn [size] worker domains (>= 1) with per-worker deques and work
+    stealing (see the module description). Same API and shutdown
+    semantics as {!create}. *)
 
 val size : t -> int
 (** Number of worker domains. *)
+
+val stealing : t -> bool
+(** Whether this pool was built by {!create_stealing}. *)
 
 val submit : t -> (unit -> 'a) -> 'a promise
 (** Queue a task. Raises [Invalid_argument] after {!shutdown}. *)

@@ -5,6 +5,7 @@ type ('k, 'v) shard = {
   mutable hits : int;
   mutable misses : int;
   mutable evictions : int;
+  mutable contention : int;  (* lock acquisitions that had to wait *)
 }
 
 type ('k, 'v) t = {
@@ -17,6 +18,7 @@ type stats = {
   hits : int;
   misses : int;
   evictions : int;
+  contention : int;
   size : int;
   capacity : int;
   shards : int;
@@ -36,6 +38,7 @@ let create ?(shards = 16) ~capacity () =
             hits = 0;
             misses = 0;
             evictions = 0;
+            contention = 0;
           });
     shard_capacity = max 1 (capacity / shards);
     capacity;
@@ -44,8 +47,17 @@ let create ?(shards = 16) ~capacity () =
 let shard_of (t : _ t) key =
   t.shards.(Hashtbl.hash key mod Array.length t.shards)
 
+(* The contention counter piggybacks on the lock acquisition: an
+   uncontended [try_lock] succeeds and costs one extra atomic over a
+   plain lock; a failed [try_lock] falls back to the blocking [lock]
+   and is counted once the shard is ours (so the counter itself needs
+   no extra synchronization). *)
 let with_shard s f =
-  Mutex.lock s.mutex;
+  if Mutex.try_lock s.mutex then ()
+  else begin
+    Mutex.lock s.mutex;
+    s.contention <- s.contention + 1
+  end;
   Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) f
 
 let find_opt t key =
@@ -88,28 +100,48 @@ let find_or_compute t key f =
       add t key v;
       v
 
+let empty_stats ~capacity ~shards =
+  { hits = 0; misses = 0; evictions = 0; contention = 0; size = 0;
+    capacity; shards }
+
+let shard_snapshot ~capacity s =
+  with_shard s (fun () ->
+      {
+        hits = s.hits;
+        misses = s.misses;
+        evictions = s.evictions;
+        contention = s.contention;
+        size = Hashtbl.length s.tbl;
+        capacity;
+        shards = 1;
+      })
+
 let stats (t : _ t) =
   Array.fold_left
     (fun acc s ->
-      with_shard s (fun () ->
-          {
-            acc with
-            hits = acc.hits + s.hits;
-            misses = acc.misses + s.misses;
-            evictions = acc.evictions + s.evictions;
-            size = acc.size + Hashtbl.length s.tbl;
-          }))
-    {
-      hits = 0;
-      misses = 0;
-      evictions = 0;
-      size = 0;
-      capacity = t.capacity;
-      shards = Array.length t.shards;
-    }
+      let snap = shard_snapshot ~capacity:t.shard_capacity s in
+      {
+        acc with
+        hits = acc.hits + snap.hits;
+        misses = acc.misses + snap.misses;
+        evictions = acc.evictions + snap.evictions;
+        contention = acc.contention + snap.contention;
+        size = acc.size + snap.size;
+      })
+    (empty_stats ~capacity:t.capacity ~shards:(Array.length t.shards))
     t.shards
 
+let shard_stats (t : _ t) =
+  Array.map (shard_snapshot ~capacity:t.shard_capacity) t.shards
+
 let length t = (stats t).size
+
+let to_alist (t : _ t) =
+  Array.fold_left
+    (fun acc s ->
+      with_shard s (fun () ->
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) s.tbl acc))
+    [] t.shards
 
 let clear (t : _ t) =
   Array.iter
